@@ -1,0 +1,68 @@
+// Extension: control-plane robustness (paper Section 3.6: pause frames are
+// idempotent and periodically retransmitted, so losing any individual frame
+// is harmless). Sweep the control-frame corruption rate and check that BFC
+// neither wedges nor loses its tail-latency advantage; plus the
+// zero-configuration claim (Section 3.1): sensitivity to a misestimated
+// pause horizon (HRTT).
+#include "bench_util.hpp"
+
+using namespace bfc;
+
+namespace {
+
+ExperimentResult run_bfc(double control_loss, double hrtt_scale, Time stop) {
+  const TopoGraph topo = TopoGraph::fat_tree(FatTreeConfig::t2());
+  ExperimentConfig cfg = bench::standard_config(Scheme::kBfc, "google", 0.60,
+                                                0.05, stop);
+  cfg.overrides.control_loss_prob = control_loss;
+  cfg.overrides.hrtt_scale = hrtt_scale;
+  cfg.overrides.fault_seed = 99;
+  return run_experiment(topo, cfg);
+}
+
+}  // namespace
+
+int main() {
+  const Time stop = static_cast<Time>(microseconds(400) * bench_scale());
+
+  bench::header("Ext. robustness (a)",
+                "BFC vs pause-frame corruption rate (Google + incast, T2)",
+                "periodic idempotent frames heal losses: completion stays "
+                "total and tails degrade only mildly even at 10-30% frame "
+                "loss");
+  std::vector<ExperimentResult> loss_rows;
+  for (double loss : {0.0, 0.01, 0.10, 0.30}) {
+    loss_rows.push_back(run_bfc(loss, 1.0, stop));
+    loss_rows.back().scheme = "loss " + std::to_string(loss).substr(0, 4);
+    const auto& r = loss_rows.back();
+    std::printf("[ctrl-loss %4.0f%%] flows=%llu/%llu drops=%lld "
+                "p99buf=%.2fMB pauses=%lld resumes=%lld\n",
+                100 * loss,
+                static_cast<unsigned long long>(r.flows_completed),
+                static_cast<unsigned long long>(r.flows_started),
+                static_cast<long long>(r.drops), r.buffer_p99_mb,
+                static_cast<long long>(r.bfc.pauses),
+                static_cast<long long>(r.bfc.resumes));
+  }
+  std::printf("\np99 FCT slowdown by flow size:\n");
+  print_slowdown_table(paper_size_bins(), loss_rows);
+
+  bench::header("Ext. robustness (b)",
+                "BFC vs misestimated pause horizon (HRTT x{0.5,1,2,4})",
+                "thresholds scale with the horizon: underestimating risks "
+                "underflow (utilization), overestimating adds buffering; "
+                "tails move gently across a 8x range - the zero-config claim");
+  std::vector<ExperimentResult> h_rows;
+  for (double scale : {0.5, 1.0, 2.0, 4.0}) {
+    h_rows.push_back(run_bfc(0.0, scale, stop));
+    h_rows.back().scheme = "hrtt x" + std::to_string(scale).substr(0, 3);
+    const auto& r = h_rows.back();
+    std::printf("[hrtt x%.1f] flows=%llu/%llu p99buf=%.2fMB pauses=%lld\n",
+                scale, static_cast<unsigned long long>(r.flows_completed),
+                static_cast<unsigned long long>(r.flows_started),
+                r.buffer_p99_mb, static_cast<long long>(r.bfc.pauses));
+  }
+  std::printf("\np99 FCT slowdown by flow size:\n");
+  print_slowdown_table(paper_size_bins(), h_rows);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 1: Broadcom switch buffer-to-capacity trend. Static data (the paper's
+// hardware survey), reproduced to document the motivation: buffers are not
+// keeping up with switch capacity.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  bfc::bench::header("Fig. 1", "Broadcom switch hardware trend",
+                     "buffer/capacity ratio halves from ~75 us (Trident2, "
+                     "2012) to ~40 us (Tomahawk3, 2018)");
+  struct Row {
+    const char* chip;
+    int year;
+    double capacity_tbps;
+    double buffer_mb;
+  };
+  const Row rows[] = {
+      {"Trident2", 2012, 1.28, 12},
+      {"Tomahawk", 2014, 3.2, 16},
+      {"Tomahawk2", 2016, 6.4, 42},
+      {"Tomahawk3", 2018, 12.8, 64},
+  };
+  std::printf("%-10s %6s %14s %10s %18s\n", "chip", "year", "capacity(Tbps)",
+              "buffer(MB)", "buffer/capacity(us)");
+  for (const auto& r : rows) {
+    const double us = r.buffer_mb * 8.0 / r.capacity_tbps;  // MB*8/Tbps = us
+    std::printf("%-10s %6d %14.2f %10.0f %18.1f\n", r.chip, r.year,
+                r.capacity_tbps, r.buffer_mb, us);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fig. 2: CDF of switch buffer occupancy for DCQCN (PFC disabled) as link
+// speed grows, with the workload scaled for equal utilization. Higher-speed
+// fabrics leave DCQCN less able to control buffer occupancy.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bfc;
+  bench::header("Fig. 2", "DCQCN buffer occupancy CDF vs link speed (T2, "
+                          "Google 75% + 5% incast, PFC off)",
+                "occupancy distribution shifts right as speed rises "
+                "10 -> 40 -> 100 Gbps");
+  const Time stop = static_cast<Time>(milliseconds(1) * bfc::bench_scale());
+  for (double gbps : {10.0, 40.0, 100.0}) {
+    FatTreeConfig ft = FatTreeConfig::t2();
+    ft.host_rate = Rate::gbps(gbps);
+    ft.fabric_rate = Rate::gbps(gbps);
+    const TopoGraph topo = TopoGraph::fat_tree(ft);
+
+    ExperimentConfig cfg =
+        bench::standard_config(Scheme::kDcqcn, "google", 0.70, 0.05, stop);
+    cfg.overrides.pfc_enabled = false;
+    cfg.drain = milliseconds(3);
+    const ExperimentResult r = run_experiment(topo, cfg);
+    char label[64];
+    std::snprintf(label, sizeof label, "%.0f Gbps (MB)", gbps);
+    bench::print_cdf_line(label, r.buffer_samples_mb);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 3: effect of the switch buffer/capacity ratio on DCQCN's 99th
+// percentile FCT slowdown. Smaller buffers hurt tail latency.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bfc;
+  bench::header("Fig. 3", "p99 FCT slowdown vs buffer/capacity ratio "
+                          "(T2, Google, DCQCN)",
+                "tail latency degrades as the ratio shrinks 30 -> 10 us");
+  const TopoGraph topo = TopoGraph::fat_tree(FatTreeConfig::t2());
+  const Time stop = static_cast<Time>(milliseconds(1) * bfc::bench_scale());
+  // T2 ToR capacity: 24 ports x 100 Gbps = 2.4 Tbps. ratio us -> bytes.
+  const double tor_tbps = 2.4;
+
+  std::vector<ExperimentResult> results;
+  for (double ratio_us : {10.0, 20.0, 30.0}) {
+    const auto buffer_bytes =
+        static_cast<std::int64_t>(ratio_us * tor_tbps * 1e6 / 8.0);
+    ExperimentConfig cfg =
+        bench::standard_config(Scheme::kDcqcn, "google", 0.70, 0.05, stop);
+    cfg.overrides.buffer_bytes = buffer_bytes;
+    ExperimentResult r = run_experiment(topo, cfg);
+    r.scheme = std::to_string(static_cast<int>(ratio_us)) + "us";
+    std::printf("ratio %4.0f us -> buffer %6.1f MB, drops=%lld, p99buf=%.2f MB\n",
+                ratio_us, static_cast<double>(buffer_bytes) / 1e6,
+                static_cast<long long>(r.drops), r.buffer_p99_mb);
+    results.push_back(std::move(r));
+  }
+  std::printf("\np99 FCT slowdown by flow size:\n");
+  print_slowdown_table(paper_size_bins(), results);
+  return 0;
+}

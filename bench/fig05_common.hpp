@@ -1,0 +1,51 @@
+// Shared driver for Fig. 5 (a/b/c) and Fig. 6: the paper's principal result.
+#pragma once
+
+#include "bench_util.hpp"
+
+namespace bfc::bench {
+
+inline std::vector<ExperimentResult> run_fig5(const std::string& workload,
+                                              double load, double incast,
+                                              bool print_fig6 = false) {
+  const TopoGraph topo = TopoGraph::fat_tree(FatTreeConfig::t1());
+  const Time stop = static_cast<Time>(microseconds(500) * bfc::bench_scale());
+  const Scheme schemes[] = {Scheme::kBfc,       Scheme::kIdealFq,
+                            Scheme::kDcqcn,     Scheme::kDcqcnWin,
+                            Scheme::kHpcc,      Scheme::kDcqcnWinSfq};
+  std::vector<ExperimentResult> results;
+  for (Scheme s : schemes) {
+    ExperimentConfig cfg = standard_config(s, workload, load, incast, stop);
+    results.push_back(run_experiment(topo, cfg));
+    const auto& r = results.back();
+    std::printf("[%s] flows=%llu/%llu drops=%lld p99buf=%.2fMB pfc(t->s)=%.2f%% "
+                "pfc(s->t)=%.2f%% coll=%.2f%%\n",
+                r.scheme.c_str(),
+                static_cast<unsigned long long>(r.flows_completed),
+                static_cast<unsigned long long>(r.flows_started),
+                static_cast<long long>(r.drops), r.buffer_p99_mb,
+                100 * r.pfc_frac_tor_to_spine, 100 * r.pfc_frac_spine_to_tor,
+                100 * r.collision_frac);
+  }
+  std::printf("\np99 FCT slowdown by flow size (non-incast traffic):\n");
+  print_slowdown_table(paper_size_bins(), results);
+  maybe_write_csv(print_fig6 ? "fig06" : ("fig05_" + workload).c_str(),
+                  results);
+
+  if (print_fig6) {
+    std::printf("\nFig. 6a — per-switch buffer occupancy (MB):\n");
+    for (const auto& r : results) print_cdf_line(r.scheme.c_str(),
+                                                 r.buffer_samples_mb);
+    std::printf("\nFig. 6b — %% of link-time PFC-paused:\n");
+    std::printf("%-16s %14s %14s\n", "scheme", "ToR->Spine", "Spine->ToR");
+    for (const auto& r : results) {
+      // Names follow the paper: a "Spine->ToR" pause throttles the spine's
+      // egress toward a ToR (i.e. the ToR paused its upstream).
+      std::printf("%-16s %13.2f%% %13.2f%%\n", r.scheme.c_str(),
+                  100 * r.pfc_frac_tor_to_spine, 100 * r.pfc_frac_spine_to_tor);
+    }
+  }
+  return results;
+}
+
+}  // namespace bfc::bench

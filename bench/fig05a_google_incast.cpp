@@ -1,0 +1,12 @@
+// Fig. 5a: p99 FCT slowdown vs flow size, Google workload, 60% load + 5%
+// 100-to-1 incast, T1 topology, all schemes.
+#include "fig05_common.hpp"
+
+int main() {
+  bfc::bench::header("Fig. 5a", "p99 slowdown, Google + incast, T1",
+                     "BFC tracks Ideal-FQ; DCQCN worst; window/SFQ/HPCC "
+                     "variants improve but stay ~3-15x above BFC, "
+                     "especially for short flows");
+  bfc::bench::run_fig5("google", 0.60, 0.05);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fig. 5b: p99 FCT slowdown vs flow size, FB_Hadoop workload, 60% load + 5%
+// 100-to-1 incast, T1 topology, all schemes.
+#include "fig05_common.hpp"
+
+int main() {
+  bfc::bench::header("Fig. 5b", "p99 slowdown, FB_Hadoop + incast, T1",
+                     "same ordering as Fig. 5a; DCQCN slightly less bad than "
+                     "on Google (fewer sub-RTT flows)");
+  bfc::bench::run_fig5("fb_hadoop", 0.60, 0.05);
+  return 0;
+}

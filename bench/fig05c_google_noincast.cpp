@@ -1,0 +1,12 @@
+// Fig. 5c: p99 FCT slowdown vs flow size, Google workload, 65% load, no
+// incast, T1 topology, all schemes.
+#include "fig05_common.hpp"
+
+int main() {
+  bfc::bench::header("Fig. 5c", "p99 slowdown, Google, no incast, T1",
+                     "BFC close to Ideal-FQ even without incast; gap to "
+                     "end-to-end schemes narrows but persists (efficient "
+                     "queue use, low buffers)");
+  bfc::bench::run_fig5("google", 0.65, 0.0);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Fig. 6: buffer occupancy CDF and % of time links were PFC-paused for the
+// Fig. 5a experiment. BFC avoids pauses and keeps buffers low.
+#include "fig05_common.hpp"
+
+int main() {
+  bfc::bench::header("Fig. 6", "buffer occupancy + PFC pause time (Fig. 5a run)",
+                     "BFC lowest occupancy and ~zero PFC; DCQCN variants "
+                     "pause several % of the time; Ideal-FQ has high "
+                     "occupancy (infinite buffer) but no PFC");
+  bfc::bench::run_fig5("google", 0.60, 0.05, /*print_fig6=*/true);
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig. 7: dynamic vs static physical-queue assignment. BFC-VFID (the straw
+// proposal, Section 3.2) hashes flows statically onto queues and suffers
+// collisions; SFQ+InfBuffer isolates the effect of upstream pauses.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bfc;
+  bench::header("Fig. 7", "BFC vs BFC-VFID vs SFQ+InfBuffer (Fig. 5a workload "
+                          "on T2)",
+                "BFC collides ~1% of the time vs ~20% for BFC-VFID; "
+                "BFC-VFID tail latency is much worse at all sizes");
+  const TopoGraph topo = TopoGraph::fat_tree(FatTreeConfig::t2());
+  const Time stop = static_cast<Time>(microseconds(800) * bfc::bench_scale());
+  std::vector<ExperimentResult> results;
+  for (Scheme s : {Scheme::kBfc, Scheme::kBfcStatic, Scheme::kSfqInfBuffer}) {
+    ExperimentConfig cfg = bench::standard_config(s, "google", 0.60, 0.05,
+                                                  stop);
+    results.push_back(run_experiment(topo, cfg));
+    const auto& r = results.back();
+    std::printf("[%s] collisions: %.2f%% of queue assignments\n",
+                r.scheme.c_str(), 100 * r.collision_frac);
+  }
+  std::printf("\np99 FCT slowdown by flow size:\n");
+  print_slowdown_table(paper_size_bins(), results);
+  return 0;
+}

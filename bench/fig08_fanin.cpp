@@ -1,0 +1,107 @@
+// Fig. 8: utilization and tail buffer occupancy as incast fan-in grows.
+// 4 long-lived flows per receiver plus a 20 MB incast every 500 us on T2.
+// DCQCN+Win loses utilization as fan-in grows; BFC stays near 100%.
+#include "bench_util.hpp"
+#include "stats/samplers.hpp"
+#include "workload/traffic_gen.hpp"
+
+using namespace bfc;
+
+namespace {
+
+struct FaninResult {
+  double utilization = 0;
+  double p99_buffer_mb = 0;
+};
+
+FaninResult run_one(Scheme scheme, int fanin, Time stop) {
+  const TopoGraph topo = TopoGraph::fat_tree(FatTreeConfig::t2());
+  Simulator sim;
+  Network net(sim, topo, scheme);
+
+  // 4 long-lived flows to every receiver from 4 random senders.
+  Rng rng(99);
+  std::uint64_t uid = 1;
+  const std::uint64_t long_flow_bytes =
+      static_cast<std::uint64_t>(Rate::gbps(100).bytes_per_sec() *
+                                 to_sec(stop) * 2);  // outlives the run
+  for (int dst : topo.hosts()) {
+    for (int i = 0; i < 4; ++i) {
+      int src = dst;
+      while (src == dst) {
+        const auto& hosts = topo.hosts();
+        src = hosts[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(hosts.size()) - 1))];
+      }
+      FlowKey key{static_cast<std::uint32_t>(src),
+                  static_cast<std::uint32_t>(dst),
+                  static_cast<std::uint16_t>(rng.uniform_int(1, 65000)),
+                  static_cast<std::uint16_t>(rng.uniform_int(1, 65000))};
+      net.start_flow(key, long_flow_bytes, uid++, /*incast=*/true);
+    }
+  }
+
+  // Periodic incast: 20 MB aggregate across `fanin` senders every 500 us.
+  TrafficConfig tc;
+  static const SizeDist dummy = SizeDist::fixed(1000);
+  tc.dist = &dummy;
+  tc.load = 0;  // no background arrivals
+  tc.incast_period = microseconds(500);
+  tc.incast_fanin = fanin;
+  tc.incast_total_bytes = 20'000'000;
+  tc.stop = stop;
+  tc.seed = 7;
+  tc.first_uid = uid;
+  TrafficGen gen(sim, topo, tc,
+                 [&net](const FlowKey& key, std::uint64_t bytes,
+                        std::uint64_t u, bool incast) {
+                   net.start_flow(key, bytes, u, incast);
+                 });
+
+  VectorSampler buf(sim, microseconds(10), 0,
+                    [&net](std::vector<double>& out) {
+                      for (const auto* sw : net.switches()) {
+                        out.push_back(
+                            static_cast<double>(sw->buffer_used()) / 1e6);
+                      }
+                    });
+  const Time measure_start = microseconds(100);  // warm-up
+  UtilizationMeter util(sim, measure_start, stop,
+                        [&net] { return net.delivered_payload_bytes(); },
+                        static_cast<double>(topo.num_hosts()) *
+                            Rate::gbps(100).bytes_per_sec());
+  sim.run_until(stop);
+
+  FaninResult r;
+  r.utilization = util.utilization();
+  r.p99_buffer_mb = percentile(buf.samples(), 99);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 8", "utilization & p99 buffer vs incast fan-in (T2)",
+                "DCQCN+Win utilization collapses toward ~70% by fan-in "
+                "~200 and keeps falling; BFC stays near 100% with lower "
+                "buffers (small dip only at very high fan-in)");
+  const Time stop = static_cast<Time>(microseconds(1500) *
+                                      bfc::bench_scale());
+  // T2 is 2:1 oversubscribed and the senders are random, so the workload
+  // itself caps raw utilization well below 1 (spine bottleneck + header
+  // overhead). As in the paper, utilization is reported relative to what an
+  // ideal scheme achieves on the identical workload: Ideal-FQ (infinite
+  // buffers, per-flow FQ) is the normalizer per fan-in.
+  std::printf("%-8s %22s %22s %12s\n", "fan-in", "BFC util / p99buf(MB)",
+              "DCQCN+Win util / p99buf", "ideal(raw)");
+  for (int fanin : {10, 50, 100, 200, 400, 800}) {
+    const FaninResult ideal = run_one(Scheme::kIdealFq, fanin, stop);
+    const FaninResult b = run_one(Scheme::kBfc, fanin, stop);
+    const FaninResult d = run_one(Scheme::kDcqcnWin, fanin, stop);
+    const double norm = ideal.utilization > 0 ? ideal.utilization : 1;
+    std::printf("%-8d %10.3f / %8.2f %12.3f / %8.2f %12.3f\n", fanin,
+                b.utilization / norm, b.p99_buffer_mb,
+                d.utilization / norm, d.p99_buffer_mb, ideal.utilization);
+  }
+  return 0;
+}

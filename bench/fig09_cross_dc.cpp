@@ -1,0 +1,86 @@
+// Fig. 9: cross-datacenter congestion. Two T2 fabrics (10 Gbps links) joined
+// by a 100 Gbps, 200 us link via gateway switches (60 MB buffers). 65% load
+// from FB_Hadoop, 20% of flows inter-DC. BFC keeps intra-DC latency
+// unaffected by inter-DC traffic and inter-DC slowdown close to 1; DCQCN's
+// slow end-to-end loop hurts both.
+#include "bench_util.hpp"
+#include "workload/traffic_gen.hpp"
+
+using namespace bfc;
+
+namespace {
+
+void run_scheme(Scheme scheme, const TopoGraph& topo, Time stop,
+                std::vector<SizeBin>& intra, std::vector<SizeBin>& inter) {
+  Simulator sim;
+  NetworkOverrides ov;
+  ov.buffer_bytes = 9'000'000;          // paper: 9 MB at 10 Gbps
+  ov.gateway_buffer_bytes = 60'000'000; // paper: 60 MB at the gateways
+  Network net(sim, topo, scheme, ov);
+
+  TrafficConfig tc;
+  tc.dist = &SizeDist::by_name("fb_hadoop");
+  tc.load = 0.65;
+  tc.inter_dc_frac = 0.20;
+  tc.stop = stop;
+  tc.seed = 21;
+  TrafficGen gen(sim, topo, tc,
+                 [&net](const FlowKey& key, std::uint64_t bytes,
+                        std::uint64_t uid, bool incast) {
+                   net.start_flow(key, bytes, uid, incast);
+                 });
+  // Inter-DC flows need several 412 us RTTs to finish.
+  sim.run_until(stop + milliseconds(4));
+
+  net.flow_stats().apply_tags();
+  intra = paper_size_bins();
+  inter = paper_size_bins();
+  // Split completions by whether the path crosses the inter-DC link.
+  FlowStats intra_stats, inter_stats;
+  for (const auto& [uid, r] : net.flow_stats().records()) {
+    if (!r.completed()) continue;
+    const bool is_inter = topo.dc_of(static_cast<int>(r.key.src)) !=
+                          topo.dc_of(static_cast<int>(r.key.dst));
+    FlowStats& dst = is_inter ? inter_stats : intra_stats;
+    dst.on_flow_started(uid, r.key, r.bytes, r.start);
+    dst.on_flow_completed(uid, r.end);
+  }
+  fill_slowdowns(intra_stats, net.ideal_fct_fn(), intra);
+  fill_slowdowns(inter_stats, net.ideal_fct_fn(), inter);
+  std::printf("[%s] completed %zu intra + %zu inter flows\n",
+              scheme_name(scheme), intra_stats.completed(),
+              inter_stats.completed());
+}
+
+void print_split(const char* what, const std::vector<SizeBin>& bfc_bins,
+                 const std::vector<SizeBin>& dc_bins) {
+  std::printf("\n%s — p99 FCT slowdown:\n", what);
+  std::printf("%-14s %12s %12s\n", "size<=", "BFC", "DCQCN+Win");
+  const auto b99 = bin_percentiles(bfc_bins, 99);
+  const auto d99 = bin_percentiles(dc_bins, 99);
+  for (std::size_t i = 0; i < bfc_bins.size(); ++i) {
+    if (bfc_bins[i].slowdowns.empty() && dc_bins[i].slowdowns.empty())
+      continue;
+    std::printf("%-11.1fKB %12.2f %12.2f\n",
+                static_cast<double>(bfc_bins[i].hi_bytes) / 1e3, b99[i],
+                d99[i]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 9", "cross-DC: intra and inter-DC p99 slowdown",
+                "BFC better on both; inter-DC slowdown near 1 for BFC vs "
+                "~2.5x for DCQCN+Win; BFC intra traffic unaffected by "
+                "inter traffic");
+  const TopoGraph topo = TopoGraph::cross_dc(CrossDcConfig::paper());
+  const Time stop = static_cast<Time>(milliseconds(4) * bfc::bench_scale());
+
+  std::vector<SizeBin> bfc_intra, bfc_inter, dc_intra, dc_inter;
+  run_scheme(Scheme::kBfc, topo, stop, bfc_intra, bfc_inter);
+  run_scheme(Scheme::kDcqcnWin, topo, stop, dc_intra, dc_inter);
+  print_split("Fig. 9a  intra-DC flows", bfc_intra, dc_intra);
+  print_split("Fig. 9b  inter-DC flows", bfc_inter, dc_inter);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fig. 14: sensitivity to the pause-frame Bloom filter size. False
+// positives (needless pauses) only start to matter at very small filters.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bfc;
+  bench::header("Fig. 14", "p99 slowdown vs Bloom filter size",
+                "largely flat from 128 B down to 32 B; at 16 B short-flow "
+                "tails degrade (~1.5x) from false-positive pauses");
+  const TopoGraph topo = TopoGraph::fat_tree(FatTreeConfig::t2());
+  const Time stop = static_cast<Time>(microseconds(800) *
+                                      bfc::bench_scale());
+  std::vector<ExperimentResult> results;
+  for (int bytes : {16, 32, 64, 128}) {
+    ExperimentConfig cfg =
+        bench::standard_config(Scheme::kBfc, "google", 0.60, 0.05, stop);
+    cfg.overrides.bloom_bytes = bytes;
+    ExperimentResult r = run_experiment(topo, cfg);
+    std::printf("bloom=%-4dB pauses=%lld resumes=%lld\n", bytes,
+                static_cast<long long>(r.bfc.pauses),
+                static_cast<long long>(r.bfc.resumes));
+    r.scheme = std::to_string(bytes) + "B";
+    results.push_back(std::move(r));
+  }
+  std::printf("\np99 FCT slowdown by flow size:\n");
+  print_slowdown_table(paper_size_bins(), results);
+  return 0;
+}

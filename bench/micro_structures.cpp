@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark) for the hardware-constrained data
+// structures of Section 3: these must be cheap enough for a per-packet
+// pipeline, so we track their software cost per operation.
+#include <benchmark/benchmark.h>
+
+#include "core/bloom.hpp"
+#include "core/flow_table.hpp"
+#include "core/vfid.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "workload/size_dist.hpp"
+
+namespace bfc {
+namespace {
+
+void BM_VfidHash(benchmark::State& state) {
+  FlowKey k{1, 2, 3, 4};
+  for (auto _ : state) {
+    k.src_port++;
+    benchmark::DoNotOptimize(vfid_of(k, 16384));
+  }
+}
+BENCHMARK(BM_VfidHash);
+
+void BM_BloomAddRemove(benchmark::State& state) {
+  CountingBloom cb(static_cast<int>(state.range(0)), 4);
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    cb.add(v);
+    cb.remove(v);
+    ++v;
+  }
+}
+BENCHMARK(BM_BloomAddRemove)->Arg(16)->Arg(128);
+
+void BM_BloomContains(benchmark::State& state) {
+  CountingBloom cb(128, 4);
+  for (std::uint32_t v = 0; v < 32; ++v) cb.add(v * 131);
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cb.contains(probe++));
+  }
+}
+BENCHMARK(BM_BloomContains);
+
+void BM_BloomSnapshot(benchmark::State& state) {
+  CountingBloom cb(128, 4);
+  for (std::uint32_t v = 0; v < 32; ++v) cb.add(v * 131);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cb.snapshot());
+  }
+}
+BENCHMARK(BM_BloomSnapshot);
+
+void BM_SnapshotContains(benchmark::State& state) {
+  CountingBloom cb(128, 4);
+  for (std::uint32_t v = 0; v < 32; ++v) cb.add(v * 131);
+  const auto bits = cb.snapshot();
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bloom_snapshot_contains(*bits, probe++, 4));
+  }
+}
+BENCHMARK(BM_SnapshotContains);
+
+void BM_FlowTableAcquireErase(benchmark::State& state) {
+  FlowTable t(16384, 4, 100);
+  std::uint32_t v = 0;
+  bool created;
+  for (auto _ : state) {
+    FlowEntry* e = t.acquire(v % 16384, 1, 2, created);
+    t.erase(e);
+    ++v;
+  }
+}
+BENCHMARK(BM_FlowTableAcquireErase);
+
+void BM_FlowTableFindHot(benchmark::State& state) {
+  FlowTable t(16384, 4, 100);
+  bool created;
+  for (std::uint32_t v = 0; v < 256; ++v) t.acquire(v * 64, 1, 2, created);
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.find((v++ % 256) * 64, 1, 2));
+  }
+}
+BENCHMARK(BM_FlowTableFindHot);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue q;
+  Rng rng(1);
+  // steady-state heap of `range` pending events
+  for (int i = 0; i < state.range(0); ++i) {
+    q.push(static_cast<Time>(rng.uniform_int(0, 1'000'000)), [] {});
+  }
+  Time at;
+  std::function<void()> fn;
+  for (auto _ : state) {
+    q.push(static_cast<Time>(rng.uniform_int(0, 1'000'000)), [] {});
+    q.pop(at, fn);
+  }
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+
+void BM_SizeDistSample(benchmark::State& state) {
+  const SizeDist& d = SizeDist::by_name("google");
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.sample(rng));
+  }
+}
+BENCHMARK(BM_SizeDistSample);
+
+}  // namespace
+}  // namespace bfc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+#include "core/bloom.hpp"
+
+#include "core/vfid.hpp"
+
+namespace bfc {
+
+namespace {
+
+// i-th probe position for `key` in a filter of `n_bits` counters. Double
+// hashing: two mixes give k independent-enough probes without k full hashes.
+inline std::uint32_t probe(std::uint32_t key, int i, std::uint32_t n_bits) {
+  const std::uint64_t h1 = mix64(key);
+  const std::uint64_t h2 = mix64(key ^ 0xA5A5A5A5A5A5A5A5ULL) | 1;
+  return static_cast<std::uint32_t>(
+      (h1 + static_cast<std::uint64_t>(i) * h2) % n_bits);
+}
+
+}  // namespace
+
+CountingBloom::CountingBloom(int size_bytes, int n_hashes)
+    // Round up to whole 64-bit snapshot words so the filter and
+    // bloom_snapshot_contains always probe modulo the same bit count,
+    // whatever wire size the caller asked for.
+    : counters_(((static_cast<std::size_t>(size_bytes) * 8 + 63) / 64) * 64,
+                0),
+      n_hashes_(n_hashes) {}
+
+void CountingBloom::add(std::uint32_t key) {
+  const auto n = static_cast<std::uint32_t>(counters_.size());
+  for (int i = 0; i < n_hashes_; ++i) {
+    std::uint8_t& c = counters_[probe(key, i, n)];
+    if (c == 0) ++nonzero_;
+    if (c < 255) ++c;  // saturate: a stuck-high counter only delays resume
+  }
+  cached_.reset();
+}
+
+void CountingBloom::remove(std::uint32_t key) {
+  const auto n = static_cast<std::uint32_t>(counters_.size());
+  // Refuse to underflow: removing a key that was never added must not
+  // corrupt other keys' counters.
+  for (int i = 0; i < n_hashes_; ++i) {
+    if (counters_[probe(key, i, n)] == 0) return;
+  }
+  for (int i = 0; i < n_hashes_; ++i) {
+    std::uint8_t& c = counters_[probe(key, i, n)];
+    if (c < 255) --c;  // saturated counters are pinned (standard CBF rule)
+    if (c == 0) --nonzero_;
+  }
+  cached_.reset();
+}
+
+bool CountingBloom::contains(std::uint32_t key) const {
+  const auto n = static_cast<std::uint32_t>(counters_.size());
+  for (int i = 0; i < n_hashes_; ++i) {
+    if (counters_[probe(key, i, n)] == 0) return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const BloomBits> CountingBloom::snapshot() const {
+  if (cached_) return cached_;
+  auto bits = std::make_shared<BloomBits>((counters_.size() + 63) / 64, 0);
+  for (std::size_t b = 0; b < counters_.size(); ++b) {
+    if (counters_[b] > 0) (*bits)[b >> 6] |= 1ULL << (b & 63);
+  }
+  cached_ = bits;
+  return cached_;
+}
+
+bool bloom_snapshot_contains(const BloomBits& bits, std::uint32_t key,
+                             int n_hashes) {
+  const auto n = static_cast<std::uint32_t>(bits.size() * 64);
+  if (n == 0) return false;
+  for (int i = 0; i < n_hashes; ++i) {
+    const std::uint32_t b = probe(key, i, n);
+    if (!(bits[b >> 6] & (1ULL << (b & 63)))) return false;
+  }
+  return true;
+}
+
+}  // namespace bfc

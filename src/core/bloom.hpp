@@ -1,0 +1,49 @@
+// Counting Bloom filter for the per-ingress paused-VFID set (Section 3.4).
+//
+// The downstream switch adds a VFID when it pauses it and removes it on
+// resume; the plain-bitmap snapshot is what travels upstream inside a pause
+// frame, so its wire size (`size_bytes`) is the quantity Fig. 14 sweeps.
+// False positives in the snapshot pause innocent flows; there are no false
+// negatives.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace bfc {
+
+using BloomBits = std::vector<std::uint64_t>;  // 1 bit per counter
+
+// Membership test against a snapshot produced by CountingBloom::snapshot().
+// Must use the same hash family as the filter that produced the bits.
+bool bloom_snapshot_contains(const BloomBits& bits, std::uint32_t key,
+                             int n_hashes);
+
+class CountingBloom {
+ public:
+  // `size_bytes` is the wire size of a snapshot; the filter keeps one
+  // 8-bit counter per snapshot bit, rounded up to whole 64-bit words so
+  // filter and snapshot always hash modulo the same bit count.
+  CountingBloom(int size_bytes, int n_hashes);
+
+  void add(std::uint32_t key);
+  void remove(std::uint32_t key);  // no-op for keys never added
+  bool contains(std::uint32_t key) const;
+
+  // Bitmap of counters > 0, shared so in-flight pause frames stay valid
+  // after the filter mutates. Rebuilt lazily and cached between mutations.
+  std::shared_ptr<const BloomBits> snapshot() const;
+
+  int n_bits() const { return static_cast<int>(counters_.size()); }
+  int n_hashes() const { return n_hashes_; }
+  bool empty() const { return nonzero_ == 0; }
+
+ private:
+  std::vector<std::uint8_t> counters_;
+  int n_hashes_;
+  int nonzero_ = 0;  // counters currently > 0
+  mutable std::shared_ptr<const BloomBits> cached_;
+};
+
+}  // namespace bfc

@@ -1,0 +1,133 @@
+#include "core/cc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bfc {
+
+namespace {
+
+constexpr double kMinRateBps = 50e6;
+
+// DCQCN (simplified): EWMA of the marking signal, multiplicative cut at
+// most once per kCutWindow, then convergence back toward the remembered
+// target rate.
+constexpr Time kCutWindow = microseconds(50);
+constexpr Time kIncWindow = microseconds(55);
+constexpr double kAlphaG = 1.0 / 16.0;
+
+// Timely thresholds, scaled to this fabric's ~8 us unloaded RTT.
+constexpr double kTmLowSec = 15e-6;
+constexpr double kTmHighSec = 60e-6;
+constexpr double kTmBeta = 0.8;
+constexpr double kTmAddBps = 5e9;
+
+// HPCC-like: keep the max path utilization near the target.
+constexpr double kHpccTarget = 0.70;
+
+void dcqcn_on_ack(Flow& f, const AckInfo& ack, Time now, double line) {
+  if (ack.ce) {
+    f.cc_alpha = (1 - kAlphaG) * f.cc_alpha + kAlphaG;
+    if (now - f.cc_last_cut >= kCutWindow) {
+      f.cc_target = f.rate_bps;
+      f.rate_bps = std::max(kMinRateBps, f.rate_bps * (1 - f.cc_alpha / 2));
+      f.cc_last_cut = now;
+      f.cc_last_inc = now;
+    }
+  } else if (now - f.cc_last_inc >= kIncWindow) {
+    f.cc_alpha *= (1 - kAlphaG);
+    // Fast recovery toward the pre-cut target, then additive probing.
+    if (f.rate_bps < f.cc_target) {
+      f.rate_bps = (f.rate_bps + f.cc_target) / 2;
+    } else {
+      f.rate_bps = std::min(line, f.rate_bps + 2.5e9 * line / 100e9);
+    }
+    f.cc_last_inc = now;
+  }
+}
+
+void timely_on_ack(Flow& f, const AckInfo& ack, Time now, double line) {
+  const double rtt = to_sec(now - ack.ts);
+  if (f.tm_prev_rtt > 0) {
+    const double diff = rtt - f.tm_prev_rtt;
+    f.tm_grad = 0.875 * f.tm_grad + 0.125 * (diff / to_sec(f.base_rtt));
+  }
+  f.tm_prev_rtt = rtt;
+  if (rtt < kTmLowSec) {
+    f.rate_bps = std::min(line, f.rate_bps + kTmAddBps * line / 100e9);
+  } else if (rtt > kTmHighSec) {
+    f.rate_bps =
+        std::max(kMinRateBps, f.rate_bps * (1 - kTmBeta * (1 - kTmHighSec / rtt)));
+  } else if (f.tm_grad <= 0) {
+    f.rate_bps = std::min(line, f.rate_bps + kTmAddBps * line / 100e9);
+  } else {
+    f.rate_bps = std::max(kMinRateBps,
+                          f.rate_bps * (1 - kTmBeta * std::min(1.0, f.tm_grad)));
+  }
+}
+
+void hpcc_on_ack(Flow& f, const AckInfo& ack, Time now, double bdp_pkts) {
+  const double u = ack.util;
+  if (u > kHpccTarget) {
+    if (now - f.hpcc_last_dec >= f.base_rtt) {
+      f.win_pkts = static_cast<std::uint32_t>(std::max(
+          2.0, static_cast<double>(f.win_pkts) * kHpccTarget / u));
+      f.hpcc_last_dec = now;
+    }
+  } else {
+    f.win_pkts = static_cast<std::uint32_t>(
+        std::min(8 * bdp_pkts, static_cast<double>(f.win_pkts) + 1));
+  }
+}
+
+}  // namespace
+
+void cc_init(const NetParams& p, Flow& f, double line_bps, double bdp_pkts) {
+  f.line_bps = line_bps;
+  f.rate_bps = line_bps;
+  f.cc_target = line_bps;
+  switch (p.cc) {
+    case CcKind::kNone:
+      // BFC and the FQ baselines: no end-to-end loop. BFC keeps a tight
+      // BDP window (contention is the switch's job); the infinite-buffer
+      // baselines get slack so FQ, not the window, sets the sharing.
+      f.win_pkts = static_cast<std::uint32_t>(
+          std::ceil((p.bfc || p.pfabric ? 1.1 : 1.6) * bdp_pkts));
+      break;
+    case CcKind::kDcqcn:
+      f.win_pkts = p.win_cap
+                       ? static_cast<std::uint32_t>(std::ceil(bdp_pkts))
+                       : 0x3FFFFFFF;
+      break;
+    case CcKind::kHpcc:
+      f.win_pkts = static_cast<std::uint32_t>(std::ceil(bdp_pkts));
+      break;
+    case CcKind::kTimely:
+      // Timely is rate-based; the loose window only bounds simulator state.
+      f.win_pkts = static_cast<std::uint32_t>(std::ceil(8 * bdp_pkts));
+      break;
+  }
+  if (f.win_pkts < 2) f.win_pkts = 2;
+}
+
+void cc_on_ack(const NetParams& p, Flow& f, const AckInfo& ack, Time now) {
+  const double line = f.line_bps;
+  switch (p.cc) {
+    case CcKind::kNone:
+      return;
+    case CcKind::kDcqcn:
+      dcqcn_on_ack(f, ack, now, line);
+      return;
+    case CcKind::kTimely:
+      timely_on_ack(f, ack, now, line);
+      return;
+    case CcKind::kHpcc: {
+      const double bdp =
+          f.rate_bps * to_sec(f.base_rtt) / (8.0 * kMtuWireBytes);
+      hpcc_on_ack(f, ack, now, bdp);
+      return;
+    }
+  }
+}
+
+}  // namespace bfc

@@ -1,0 +1,21 @@
+// The common congestion-control interface (sender side).
+//
+// Every end-to-end scheme is a pair of hooks over the shared Flow state:
+// cc_init seeds the rate/window when the flow starts, cc_on_ack folds each
+// acknowledgment into the pacing rate and window. The switch never changes:
+// adding a scheme means adding a case here plus (at most) a feedback field
+// on the packet.
+#pragma once
+
+#include "core/packet.hpp"
+#include "core/params.hpp"
+
+namespace bfc {
+
+// `line_bps` is the bottleneck line rate of the flow's path; `bdp_pkts` its
+// unloaded bandwidth-delay product in MTU packets.
+void cc_init(const NetParams& p, Flow& f, double line_bps, double bdp_pkts);
+
+void cc_on_ack(const NetParams& p, Flow& f, const AckInfo& ack, Time now);
+
+}  // namespace bfc

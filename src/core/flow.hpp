@@ -1,0 +1,66 @@
+// Per-flow measurement records, shared by the harness and the benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/vfid.hpp"
+#include "sim/time.hpp"
+
+namespace bfc {
+
+struct FlowRecord {
+  FlowKey key;
+  std::uint64_t bytes = 0;
+  Time start = 0;
+  Time end = -1;
+  bool incast = false;  // excluded from FCT-slowdown statistics
+
+  bool completed() const { return end >= 0; }
+};
+
+// Start/completion log. Completions recorded for an unknown uid (possible
+// when a caller replays records out of order) are parked and folded in by
+// apply_tags(), which is idempotent and harmless to call at any point.
+class FlowStats {
+ public:
+  void on_flow_started(std::uint64_t uid, const FlowKey& key,
+                       std::uint64_t bytes, Time start, bool incast = false) {
+    FlowRecord r;
+    r.key = key;
+    r.bytes = bytes;
+    r.start = start;
+    r.incast = incast;
+    records_[uid] = r;
+  }
+
+  void on_flow_completed(std::uint64_t uid, Time end) {
+    auto it = records_.find(uid);
+    if (it != records_.end()) {
+      if (!it->second.completed()) ++completed_;
+      it->second.end = end;
+    } else {
+      pending_.push_back({uid, end});
+    }
+  }
+
+  void apply_tags() {
+    auto parked = std::move(pending_);
+    pending_.clear();
+    for (const auto& [uid, end] : parked) on_flow_completed(uid, end);
+  }
+
+  const std::map<std::uint64_t, FlowRecord>& records() const {
+    return records_;
+  }
+  std::size_t started() const { return records_.size(); }
+  std::size_t completed() const { return completed_; }
+
+ private:
+  std::map<std::uint64_t, FlowRecord> records_;
+  std::vector<std::pair<std::uint64_t, Time>> pending_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace bfc

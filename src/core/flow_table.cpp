@@ -1,0 +1,116 @@
+#include "core/flow_table.hpp"
+
+#include "core/vfid.hpp"
+
+namespace bfc {
+
+namespace {
+
+inline std::uint64_t key_hash(std::uint32_t vfid, int egress, int prio) {
+  return mix64((static_cast<std::uint64_t>(vfid) << 24) ^
+               (static_cast<std::uint64_t>(egress) << 8) ^
+               static_cast<std::uint64_t>(prio));
+}
+
+inline bool matches(const FlowEntry& e, std::uint32_t vfid, int egress,
+                    int prio) {
+  return e.in_use && e.vfid == vfid && e.egress == egress && e.prio == prio;
+}
+
+inline void reset_entry(FlowEntry& e) {
+  const FlowEntry* keep_next = e.next;
+  e = FlowEntry{};
+  e.next = const_cast<FlowEntry*>(keep_next);
+}
+
+}  // namespace
+
+FlowTable::FlowTable(int n_slots, int ways, int overflow_slots)
+    : slots_(static_cast<std::size_t>(n_slots < ways ? ways : n_slots)),
+      overflow_(static_cast<std::size_t>(overflow_slots)),
+      ways_(ways < 1 ? 1 : ways) {
+  n_buckets_ = slots_.size() / static_cast<std::size_t>(ways_);
+  if (n_buckets_ == 0) n_buckets_ = 1;
+  chain_.assign(n_buckets_, nullptr);
+  // Thread the overflow pool into a free list.
+  for (std::size_t i = 0; i + 1 < overflow_.size(); ++i) {
+    overflow_[i].next = &overflow_[i + 1];
+  }
+  free_overflow_ = overflow_.empty() ? nullptr : &overflow_[0];
+}
+
+std::size_t FlowTable::bucket_of(std::uint32_t vfid, int egress,
+                                 int prio) const {
+  return key_hash(vfid, egress, prio) % n_buckets_;
+}
+
+FlowEntry* FlowTable::acquire(std::uint32_t vfid, int egress, int prio,
+                              bool& created) {
+  created = false;
+  const std::size_t b = bucket_of(vfid, egress, prio);
+  FlowEntry* base = &slots_[b * static_cast<std::size_t>(ways_)];
+  FlowEntry* empty = nullptr;
+  for (int w = 0; w < ways_; ++w) {
+    FlowEntry& e = base[w];
+    if (matches(e, vfid, egress, prio)) return &e;
+    if (!e.in_use && empty == nullptr) empty = &e;
+  }
+  for (FlowEntry* e = chain_[b]; e != nullptr; e = e->next) {
+    if (matches(*e, vfid, egress, prio)) return e;
+  }
+  if (empty == nullptr) {
+    // Bucket full: chain a spare from the overflow pool.
+    if (free_overflow_ == nullptr) {
+      ++rejects_;
+      return nullptr;
+    }
+    empty = free_overflow_;
+    free_overflow_ = empty->next;
+    empty->next = chain_[b];
+    chain_[b] = empty;
+  }
+  empty->in_use = true;
+  empty->vfid = vfid;
+  empty->egress = egress;
+  empty->prio = prio;
+  ++live_;
+  created = true;
+  return empty;
+}
+
+FlowEntry* FlowTable::find(std::uint32_t vfid, int egress, int prio) {
+  const std::size_t b = bucket_of(vfid, egress, prio);
+  FlowEntry* base = &slots_[b * static_cast<std::size_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (matches(base[w], vfid, egress, prio)) return &base[w];
+  }
+  for (FlowEntry* e = chain_[b]; e != nullptr; e = e->next) {
+    if (matches(*e, vfid, egress, prio)) return e;
+  }
+  return nullptr;
+}
+
+const FlowEntry* FlowTable::find(std::uint32_t vfid, int egress,
+                                 int prio) const {
+  return const_cast<FlowTable*>(this)->find(vfid, egress, prio);
+}
+
+void FlowTable::erase(FlowEntry* e) {
+  if (e == nullptr || !e->in_use) return;
+  --live_;
+  // Overflow entries go back to the free list; bucketed entries are cleared
+  // in place.
+  if (e >= overflow_.data() && e < overflow_.data() + overflow_.size()) {
+    const std::size_t b = bucket_of(e->vfid, e->egress, e->prio);
+    FlowEntry** pp = &chain_[b];
+    while (*pp != nullptr && *pp != e) pp = &(*pp)->next;
+    if (*pp == e) *pp = e->next;
+    reset_entry(*e);
+    e->next = free_overflow_;
+    free_overflow_ = e;
+  } else {
+    reset_entry(*e);
+  }
+}
+
+}  // namespace bfc

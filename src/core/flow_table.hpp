@@ -1,0 +1,67 @@
+// Set-associative flow table (Section 3.2).
+//
+// Hardware gives us a fixed array of entries, `ways` per bucket, plus a small
+// shared overflow pool — never dynamic allocation per flow. An entry is keyed
+// by (vfid, egress port, priority class); distinct 5-tuples that fold onto
+// the same key share the entry (and therefore the same physical queue).
+// `acquire` returns nullptr when both the bucket and the overflow pool are
+// exhausted: the caller falls back to a static queue and counts an overflow
+// packet (Fig. 13).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bfc {
+
+struct FlowEntry {
+  std::uint32_t vfid = 0;
+  std::int32_t egress = -1;
+  std::int32_t prio = 0;
+  bool in_use = false;
+
+  // Per-entry switch state.
+  std::int32_t queue = -1;       // assigned physical queue at `egress`
+  std::int32_t pkts = 0;         // packets resident in that queue
+  std::int32_t in_port = -1;     // upstream (ingress) the entry is fed from
+  bool paused = false;           // we currently pause this VFID upstream
+  bool resume_pending = false;   // queued behind the resume limiter
+
+  FlowEntry* next = nullptr;     // overflow chain
+};
+
+class FlowTable {
+ public:
+  // `n_slots` bucketed entries organized as (n_slots / ways) buckets of
+  // `ways`, plus `overflow_slots` chainable spares.
+  FlowTable(int n_slots, int ways, int overflow_slots);
+
+  // Finds or creates the entry for the key triple. Sets `created` when the
+  // entry is new. Returns nullptr when the table is full (bounded state:
+  // nothing is ever evicted while in use).
+  FlowEntry* acquire(std::uint32_t vfid, int egress, int prio, bool& created);
+
+  FlowEntry* find(std::uint32_t vfid, int egress, int prio);
+  const FlowEntry* find(std::uint32_t vfid, int egress, int prio) const;
+
+  // Returns the entry to the free state. The entry must be in use.
+  void erase(FlowEntry* e);
+
+  std::size_t size() const { return live_; }
+  std::size_t capacity() const { return slots_.size() + overflow_.size(); }
+  std::int64_t overflow_rejects() const { return rejects_; }
+
+ private:
+  std::size_t bucket_of(std::uint32_t vfid, int egress, int prio) const;
+
+  std::vector<FlowEntry> slots_;      // ways * n_buckets
+  std::vector<FlowEntry> overflow_;   // shared spare pool
+  std::vector<FlowEntry*> chain_;     // per-bucket overflow chain head
+  FlowEntry* free_overflow_ = nullptr;
+  int ways_;
+  std::size_t n_buckets_;
+  std::size_t live_ = 0;
+  std::int64_t rejects_ = 0;
+};
+
+}  // namespace bfc

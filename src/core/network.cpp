@@ -1,0 +1,193 @@
+#include "core/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/cc.hpp"
+
+namespace bfc {
+
+namespace {
+
+// Default shared buffer: 30 us worth of the switch's aggregate port
+// capacity (the upper end of Fig. 1's surveyed buffer/capacity ratios).
+constexpr double kBufferSecPerCapacity = 30e-6;
+
+Time path_one_way(const std::vector<Hop>& path, const TopoGraph& topo,
+                  int probe_bytes) {
+  Time t = 0;
+  for (const Hop& h : path) {
+    const PortInfo& link = topo.ports(h.node)[static_cast<std::size_t>(h.port)];
+    t += link.delay + link.rate.time_to_send(probe_bytes);
+  }
+  return t;
+}
+
+double path_min_rate_bps(const std::vector<Hop>& path, const TopoGraph& topo) {
+  double r = -1;
+  for (const Hop& h : path) {
+    const PortInfo& link = topo.ports(h.node)[static_cast<std::size_t>(h.port)];
+    if (r < 0 || link.rate.bits_per_sec() < r) r = link.rate.bits_per_sec();
+  }
+  return r;
+}
+
+}  // namespace
+
+Network::Network(Simulator& sim, const TopoGraph& topo, Scheme scheme,
+                 const NetworkOverrides& ov)
+    : sim_(sim),
+      topo_(topo),
+      params_(NetParams::derive(scheme, ov)),
+      overrides_(ov),
+      fault_rng_(ov.fault_seed),
+      mark_rng_(ov.fault_seed ^ 0xECECECEC) {
+  devices_.assign(static_cast<std::size_t>(topo_.num_nodes()), nullptr);
+  for (int node = 0; node < topo_.num_nodes(); ++node) {
+    if (topo_.is_host(node)) {
+      nics_.push_back(std::make_unique<Nic>(*this, node));
+      nic_list_.push_back(nics_.back().get());
+      devices_[static_cast<std::size_t>(node)] = nics_.back().get();
+    } else {
+      switches_.push_back(
+          std::make_unique<Switch>(*this, node, default_buffer(node)));
+      switch_list_.push_back(switches_.back().get());
+      devices_[static_cast<std::size_t>(node)] = switches_.back().get();
+    }
+  }
+}
+
+Network::~Network() = default;
+
+std::int64_t Network::default_buffer(int node) const {
+  if (params_.inf_buffer) {
+    return std::numeric_limits<std::int64_t>::max() / 4;
+  }
+  if (topo_.tier_of(node) == NodeTier::kGateway &&
+      overrides_.gateway_buffer_bytes) {
+    return *overrides_.gateway_buffer_bytes;
+  }
+  if (overrides_.buffer_bytes) return *overrides_.buffer_bytes;
+  double capacity_bps = 0;
+  for (const PortInfo& port : topo_.ports(node)) {
+    capacity_bps += port.rate.bits_per_sec();
+  }
+  return static_cast<std::int64_t>(capacity_bps / 8.0 *
+                                   kBufferSecPerCapacity);
+}
+
+void Network::start_flow(const FlowKey& key, std::uint64_t bytes,
+                         std::uint64_t uid, bool incast) {
+  auto owned = std::make_unique<Flow>();
+  Flow* f = owned.get();
+  f->uid = uid;
+  f->key = key;
+  f->bytes = bytes == 0 ? 1 : bytes;
+  f->total_pkts = static_cast<std::uint32_t>(
+      (f->bytes + kPayloadBytes - 1) / kPayloadBytes);
+  f->incast = incast;
+  f->vfid = vfid_of(key, static_cast<std::uint32_t>(params_.n_vfids));
+  f->path = topo_.route(key);
+  f->ack_lat = path_one_way(f->path, topo_, kAckWireBytes);
+  f->base_rtt = path_one_way(f->path, topo_, kMtuWireBytes) + f->ack_lat;
+  const double line = path_min_rate_bps(f->path, topo_);
+  const double bdp_pkts = std::max(
+      2.0, line * to_sec(f->base_rtt) / (8.0 * kMtuWireBytes));
+  cc_init(params_, *f, line, bdp_pkts);
+  f->rto = std::max<Time>(params_.pfabric ? 3 * f->base_rtt
+                                          : 4 * f->base_rtt,
+                          params_.pfabric ? microseconds(30)
+                                          : microseconds(100));
+  stats_.on_flow_started(uid, key, f->bytes, sim_.now(), incast);
+  flows_.emplace(uid, std::move(owned));
+  static_cast<Nic*>(devices_[key.src])->add_flow(f);
+}
+
+void Network::on_flow_complete(Flow* f) {
+  stats_.on_flow_completed(f->uid, sim_.now());
+}
+
+BfcTotals Network::bfc_totals() const {
+  BfcTotals t;
+  for (const Switch* sw : switch_list_) {
+    t.pauses += sw->bfc_counts().pauses;
+    t.resumes += sw->bfc_counts().resumes;
+    t.overflow_packets += sw->bfc_counts().overflow_packets;
+  }
+  return t;
+}
+
+SwitchTotals Network::switch_totals() const {
+  SwitchTotals t;
+  for (const Switch* sw : switch_list_) {
+    t.pfc_pauses_sent += sw->totals().pfc_pauses_sent;
+    t.pfc_resumes_sent += sw->totals().pfc_resumes_sent;
+    t.drops += sw->totals().drops;
+  }
+  return t;
+}
+
+double Network::collision_frac() const {
+  std::int64_t assignments = 0, collisions = 0;
+  for (const Switch* sw : switch_list_) {
+    assignments += sw->assignments();
+    collisions += sw->collisions();
+  }
+  return assignments == 0
+             ? 0
+             : static_cast<double>(collisions) /
+                   static_cast<double>(assignments);
+}
+
+Network::IdealFctFn Network::ideal_fct_fn() const {
+  const TopoGraph* topo = &topo_;
+  return [topo](const FlowKey& key, std::uint64_t bytes) -> Time {
+    const std::vector<Hop> path = topo->route(key);
+    const auto n_pkts =
+        static_cast<std::int64_t>((bytes + kPayloadBytes - 1) / kPayloadBytes);
+    const std::int64_t wire =
+        static_cast<std::int64_t>(bytes) + n_pkts * kHeaderBytes;
+    // Store-and-forward pipeline: first packet pays every hop, the rest
+    // stream at the bottleneck.
+    Time t = path_one_way(path, *topo, kMtuWireBytes);
+    const double min_rate = path_min_rate_bps(path, *topo);
+    const std::int64_t rest = wire - kMtuWireBytes;
+    if (rest > 0) {
+      t += static_cast<Time>(static_cast<double>(rest) * 8e9 / min_rate);
+    }
+    return t < 1 ? 1 : t;
+  };
+}
+
+Network::PfcFractions Network::pfc_fractions(Time window) const {
+  const Time now = sim_.now();
+  std::int64_t t2s_ns = 0, s2t_ns = 0, t2s_links = 0, s2t_links = 0;
+  for (const Switch* sw : switch_list_) {
+    const NodeTier tier = topo_.tier_of(sw->id());
+    if (tier == NodeTier::kTor) {
+      t2s_ns += sw->paused_ns_toward(NodeTier::kSpine, now);
+    } else if (tier == NodeTier::kSpine) {
+      s2t_ns += sw->paused_ns_toward(NodeTier::kTor, now);
+    }
+    for (const PortInfo& port : topo_.ports(sw->id())) {
+      const NodeTier peer = topo_.tier_of(port.peer);
+      if (tier == NodeTier::kTor && peer == NodeTier::kSpine) ++t2s_links;
+      if (tier == NodeTier::kSpine && peer == NodeTier::kTor) ++s2t_links;
+    }
+  }
+  PfcFractions f;
+  if (window > 0 && t2s_links > 0) {
+    f.tor_to_spine = static_cast<double>(t2s_ns) /
+                     (static_cast<double>(t2s_links) *
+                      static_cast<double>(window));
+  }
+  if (window > 0 && s2t_links > 0) {
+    f.spine_to_tor = static_cast<double>(s2t_ns) /
+                     (static_cast<double>(s2t_links) *
+                      static_cast<double>(window));
+  }
+  return f;
+}
+
+}  // namespace bfc

@@ -1,0 +1,96 @@
+// The network: topology + devices + flows, wired to a Simulator.
+//
+// Owns every NIC, switch, and Flow for the length of a run; routes control
+// frames (acks, PFC, BFC snapshots) outside the data queues; and aggregates
+// the counters the harness reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/nic.hpp"
+#include "core/packet.hpp"
+#include "core/params.hpp"
+#include "core/switch.hpp"
+#include "core/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace bfc {
+
+class Network {
+ public:
+  Network(Simulator& sim, const TopoGraph& topo, Scheme scheme,
+          const NetworkOverrides& ov = {});
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Starts a flow of `bytes` payload bytes from key.src to key.dst.
+  void start_flow(const FlowKey& key, std::uint64_t bytes, std::uint64_t uid,
+                  bool incast = false);
+
+  const std::vector<Switch*>& switches() const { return switch_list_; }
+  const std::vector<Nic*>& nics() const { return nic_list_; }
+  FlowStats& flow_stats() { return stats_; }
+  std::int64_t delivered_payload_bytes() const { return delivered_payload_; }
+
+  BfcTotals bfc_totals() const;
+  SwitchTotals switch_totals() const;
+  double collision_frac() const;
+
+  // Unloaded flow-completion time of (key, bytes): the FCT-slowdown
+  // denominator.
+  using IdealFctFn = std::function<Time(const FlowKey&, std::uint64_t)>;
+  IdealFctFn ideal_fct_fn() const;
+
+  struct PfcFractions {
+    double tor_to_spine = 0;   // ToR egress toward spines paused
+    double spine_to_tor = 0;   // spine egress toward ToRs paused
+  };
+  PfcFractions pfc_fractions(Time window) const;
+
+  // --- internals shared with the devices ---
+  Simulator& sim() { return sim_; }
+  const TopoGraph& topo() const { return topo_; }
+  const NetParams& params() const { return params_; }
+  Device* device(int node) { return devices_[static_cast<std::size_t>(node)]; }
+  Flow* flow(std::uint64_t uid) {
+    auto it = flows_.find(uid);
+    return it == flows_.end() ? nullptr : it->second.get();
+  }
+  bool roll_data_loss() {
+    return params_.data_loss > 0 && fault_rng_.uniform() < params_.data_loss;
+  }
+  bool roll_ctrl_loss() {
+    return params_.ctrl_loss > 0 && fault_rng_.uniform() < params_.ctrl_loss;
+  }
+  Rng& mark_rng() { return mark_rng_; }
+  void count_delivered(std::int64_t payload) { delivered_payload_ += payload; }
+  void on_flow_complete(Flow* f);
+
+ private:
+  std::int64_t default_buffer(int node) const;
+
+  Simulator& sim_;
+  TopoGraph topo_;
+  NetParams params_;
+  NetworkOverrides overrides_;
+  std::vector<Device*> devices_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<Nic*> nic_list_;
+  std::vector<Switch*> switch_list_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Flow>> flows_;
+  FlowStats stats_;
+  Rng fault_rng_;
+  Rng mark_rng_;
+  std::int64_t delivered_payload_ = 0;
+};
+
+}  // namespace bfc

@@ -1,0 +1,282 @@
+#include "core/nic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/cc.hpp"
+#include "core/network.hpp"
+
+namespace bfc {
+
+namespace {
+
+// Fast-retransmit reordering margin (IRN): a hole this many packets behind
+// the latest selective ack is treated as lost.
+constexpr std::uint32_t kDupThresh = 3;
+// How many repair candidates one loss-detection round may queue.
+constexpr std::uint32_t kRepairBatch = 8;
+
+}  // namespace
+
+Nic::Nic(Network& net, int node) : net_(net), node_(node) {
+  link_ = net_.topo().ports(node)[0];
+}
+
+void Nic::add_flow(Flow* f) {
+  f->last_progress = net_.sim().now();
+  active_.push_back(f);
+  arm_rto(f);
+  kick();
+}
+
+bool Nic::sendable(const Flow* f, Time& gate) const {
+  if (f->sender_done) return false;
+  const bool has_retx = !f->retx_q.empty();
+  const bool has_new =
+      f->next_seq < f->total_pkts &&
+      f->next_seq - f->cum - f->sacked_beyond_cum < f->win_pkts;
+  if (!has_retx && !has_new) return false;
+  if (net_.params().bfc && pause_bits_ &&
+      bloom_snapshot_contains(*pause_bits_, f->vfid,
+                              net_.params().bloom_hashes)) {
+    return false;  // woken by the next snapshot, not by time
+  }
+  if (f->next_send > net_.sim().now()) {
+    gate = std::min(gate, f->next_send);
+    return false;
+  }
+  return true;
+}
+
+void Nic::kick() {
+  if (busy_ || pfc_paused_ || active_.empty()) return;
+  const Time now = net_.sim().now();
+  Time gate = std::numeric_limits<Time>::max();
+  Flow* chosen = nullptr;
+  for (std::size_t k = 0; k < active_.size(); ++k) {
+    const std::size_t i = (rr_ + k) % active_.size();
+    Flow* f = active_[i];
+    if (f->sender_done) continue;
+    if (sendable(f, gate)) {
+      chosen = f;
+      rr_ = (i + 1) % active_.size();
+      break;
+    }
+  }
+  // Compact finished flows occasionally (cheap amortized sweep).
+  if (chosen == nullptr && active_.size() > 64) {
+    auto alive = [](Flow* f) { return !f->sender_done; };
+    if (std::count_if(active_.begin(), active_.end(), alive) <
+        static_cast<std::ptrdiff_t>(active_.size() / 2)) {
+      active_.erase(
+          std::remove_if(active_.begin(), active_.end(),
+                         [&](Flow* f) { return !alive(f); }),
+          active_.end());
+      rr_ = 0;
+    }
+  }
+  if (chosen == nullptr) {
+    // Nothing eligible: wake when the earliest pacing gate opens.
+    if (gate != std::numeric_limits<Time>::max() &&
+        (wake_at_ < 0 || wake_at_ > gate || wake_at_ <= now)) {
+      wake_at_ = gate;
+      net_.sim().at(gate, [this, at = gate] {
+        if (wake_at_ == at) wake_at_ = -1;
+        kick();
+      });
+    }
+    return;
+  }
+
+  std::uint32_t seq;
+  bool retx = false;
+  if (!chosen->retx_q.empty()) {
+    seq = chosen->retx_q.front();
+    chosen->retx_q.pop_front();
+    retx = true;
+  } else {
+    seq = chosen->next_seq++;
+  }
+  send_packet(chosen, seq, retx);
+}
+
+void Nic::send_packet(Flow* f, std::uint32_t seq, bool retx) {
+  const Time now = net_.sim().now();
+  Packet pkt;
+  pkt.flow = f;
+  pkt.seq = seq;
+  pkt.wire = f->payload_of(seq) + kHeaderBytes;
+  pkt.hop = 1;  // next transmitter: the ToR
+  pkt.single = f->total_pkts == 1;
+  pkt.prio = f->remaining_bytes();
+  pkt.ts = now;
+  if (retx || seq < f->max_sent) ++stats_.data_retx;
+  f->max_sent = std::max(f->max_sent, seq + 1);
+  ++stats_.pkts_sent;
+
+  // Pacing: inter-packet gap at the flow's current rate.
+  f->next_send =
+      now + static_cast<Time>(static_cast<double>(pkt.wire) * 8e9 /
+                              std::max(f->rate_bps, 1e6));
+
+  busy_ = true;
+  const Time ser = link_.rate.time_to_send(pkt.wire);
+  net_.sim().after(ser, [this] {
+    busy_ = false;
+    kick();
+  });
+  Device* tor = net_.device(link_.peer);
+  const int tor_port = link_.peer_port;
+  net_.sim().after(ser + link_.delay, [this, tor, tor_port, pkt] {
+    if (net_.roll_data_loss()) return;
+    tor->arrive(pkt, tor_port);
+  });
+}
+
+void Nic::arrive(const Packet& pkt, int /*in_port*/) {
+  receive_data(pkt);
+}
+
+void Nic::receive_data(const Packet& pkt) {
+  Flow* f = pkt.flow;
+  AckInfo ack;
+  ack.uid = f->uid;
+  ack.sack = pkt.seq;
+  ack.ce = pkt.ce;
+  ack.util = pkt.util;
+  ack.ts = pkt.ts;
+
+  bool fresh = false;
+  if (net_.params().retx == RetxMode::kGoBackN) {
+    if (pkt.seq == f->rcv_next) {
+      ++f->rcv_next;
+      fresh = true;
+    } else if (pkt.seq > f->rcv_next) {
+      ack.nack = true;  // out of order: GBN receivers keep nothing
+    }
+  } else {
+    if (f->rcvd.empty()) f->rcvd.assign(f->total_pkts, false);
+    if (!f->rcvd[pkt.seq]) {
+      f->rcvd[pkt.seq] = true;
+      fresh = true;
+      while (f->rcv_next < f->total_pkts && f->rcvd[f->rcv_next]) {
+        ++f->rcv_next;
+      }
+    }
+  }
+  if (fresh) net_.count_delivered(f->payload_of(pkt.seq));
+  if (f->rcv_next == f->total_pkts && !f->delivered) {
+    f->delivered = true;
+    net_.on_flow_complete(f);
+  }
+  ack.cum = f->rcv_next;
+
+  // Acks ride a contention-free control channel: delivered directly after
+  // the unloaded reverse-path latency.
+  auto* src_nic = static_cast<Nic*>(net_.device(static_cast<int>(f->key.src)));
+  net_.sim().after(f->ack_lat, [src_nic, ack] { src_nic->on_ack(ack); });
+}
+
+void Nic::on_ack(const AckInfo& ack) {
+  Flow* f = net_.flow(ack.uid);
+  if (f == nullptr || f->sender_done) return;
+  const Time now = net_.sim().now();
+  const NetParams& p = net_.params();
+
+  if (p.retx == RetxMode::kIrn || p.pfabric) {
+    if (f->acked.empty()) f->acked.assign(f->total_pkts, false);
+    if (!f->acked[ack.sack]) {
+      f->acked[ack.sack] = true;
+      if (ack.sack >= f->cum) ++f->sacked_beyond_cum;
+    }
+  }
+  if (ack.cum > f->cum) {
+    f->cum = ack.cum;
+    f->last_progress = now;
+    if (!f->acked.empty()) {
+      // Re-derive how many sacked packets sit beyond the new cum point.
+      std::uint32_t n = 0;
+      for (std::uint32_t s = f->cum; s < f->max_sent; ++s) {
+        if (f->acked[s]) ++n;
+      }
+      f->sacked_beyond_cum = n;
+    }
+  }
+
+  cc_on_ack(p, *f, ack, now);
+
+  if (p.retx == RetxMode::kGoBackN) {
+    if (ack.nack && now - f->last_rewind > f->base_rtt) {
+      f->last_rewind = now;
+      f->next_seq = f->cum;  // rewind the window
+      f->retx_q.clear();
+    }
+  } else if (ack.sack >= f->cum + kDupThresh &&
+             now - f->last_fast_retx > f->base_rtt) {
+    f->last_fast_retx = now;
+    std::uint32_t queued = 0;
+    for (std::uint32_t s = f->cum;
+         s < ack.sack && queued < kRepairBatch; ++s) {
+      if (!f->acked[s] &&
+          std::find(f->retx_q.begin(), f->retx_q.end(), s) ==
+              f->retx_q.end()) {
+        f->retx_q.push_back(s);
+        ++queued;
+      }
+    }
+  }
+
+  if (f->cum >= f->total_pkts) {
+    f->sender_done = true;
+    return;
+  }
+  arm_rto(f);
+  kick();
+}
+
+void Nic::arm_rto(Flow* f) {
+  const int gen = ++f->rto_gen;
+  net_.sim().after(f->rto, [this, f, gen] { fire_rto(f, gen); });
+}
+
+void Nic::fire_rto(Flow* f, int gen) {
+  if (gen != f->rto_gen || f->sender_done) return;
+  const Time now = net_.sim().now();
+  if (now - f->last_progress < f->rto) {
+    // Progress happened since arming: re-arm relative to it.
+    net_.sim().at(f->last_progress + f->rto,
+                  [this, f, gen] { fire_rto(f, gen); });
+    return;
+  }
+  ++stats_.rto_fires;
+  f->last_progress = now;
+  if (net_.params().retx == RetxMode::kGoBackN && !net_.params().pfabric) {
+    f->next_seq = f->cum;
+    f->retx_q.clear();
+  } else {
+    f->retx_q.clear();
+    std::uint32_t queued = 0;
+    for (std::uint32_t s = f->cum; s < f->max_sent && queued < f->win_pkts;
+         ++s) {
+      if (f->acked.empty() || !f->acked[s]) {
+        f->retx_q.push_back(s);
+        ++queued;
+      }
+    }
+  }
+  arm_rto(f);
+  kick();
+}
+
+void Nic::on_bfc_snapshot(int /*egress_port*/,
+                          std::shared_ptr<const BloomBits> bits) {
+  pause_bits_ = std::move(bits);
+  kick();
+}
+
+void Nic::on_pfc(int /*egress_port*/, bool paused) {
+  pfc_paused_ = paused;
+  if (!paused) kick();
+}
+
+}  // namespace bfc

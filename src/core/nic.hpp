@@ -1,0 +1,65 @@
+// The host NIC: windowed, rate-paced sender plus the receiver logic
+// (delivery, acks, GBN/IRN loss recovery). One port, toward the ToR.
+//
+// BFC treats the NIC as the first hop: the ToR's pause snapshots arrive
+// here and gate individual flows; PFC gates the whole uplink.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/packet.hpp"
+#include "sim/time.hpp"
+
+namespace bfc {
+
+class Network;
+
+struct NicStats {
+  std::int64_t rto_fires = 0;
+  std::int64_t data_retx = 0;
+  std::int64_t pkts_sent = 0;
+};
+
+class Nic : public Device {
+ public:
+  Nic(Network& net, int node);
+
+  const NicStats& stats() const { return stats_; }
+  int id() const { return node_; }
+
+  // Sender side.
+  void add_flow(Flow* f);
+  void on_ack(const AckInfo& ack);
+
+  // Device side (receiver + backpressure).
+  void arrive(const Packet& pkt, int in_port) override;
+  void on_bfc_snapshot(int egress_port,
+                       std::shared_ptr<const BloomBits> bits) override;
+  void on_pfc(int egress_port, bool paused) override;
+
+ private:
+  void kick();
+  void send_packet(Flow* f, std::uint32_t seq, bool retx);
+  // Returns true if `f` could send right now; otherwise sets `gate` to the
+  // earliest time it might become sendable (or leaves it untouched when the
+  // flow waits on external events).
+  bool sendable(const Flow* f, Time& gate) const;
+  void arm_rto(Flow* f);
+  void fire_rto(Flow* f, int gen);
+  void receive_data(const Packet& pkt);
+
+  Network& net_;
+  int node_;
+  PortInfo link_;
+  std::vector<Flow*> active_;
+  std::size_t rr_ = 0;
+  bool busy_ = false;
+  bool pfc_paused_ = false;
+  std::shared_ptr<const BloomBits> pause_bits_;
+  Time wake_at_ = -1;
+  NicStats stats_;
+};
+
+}  // namespace bfc

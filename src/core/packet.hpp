@@ -1,0 +1,114 @@
+// Runtime flow state, the wire packet, and the device interface.
+//
+// A Flow is owned by the Network for the whole run; packets carry a raw
+// pointer plus a sequence number, so copying a Packet into an event closure
+// is cheap and safe.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/bloom.hpp"
+#include "core/params.hpp"
+#include "core/topology.hpp"
+#include "core/vfid.hpp"
+#include "sim/time.hpp"
+
+namespace bfc {
+
+struct Flow {
+  // Identity, fixed at start_flow().
+  std::uint64_t uid = 0;
+  FlowKey key;
+  std::uint64_t bytes = 0;       // payload bytes to transfer
+  std::uint32_t total_pkts = 0;
+  bool incast = false;
+  std::uint32_t vfid = 0;
+  std::vector<Hop> path;         // one entry per transmitting device
+  Time base_rtt = 0;             // unloaded round trip
+  Time ack_lat = 0;              // receiver -> sender control latency
+  Time rto = 0;
+
+  // Sender state.
+  double line_bps = 0;           // bottleneck line rate of the path
+  double rate_bps = 0;           // pacing rate (congestion control output)
+  std::uint32_t win_pkts = 0;    // window cap (packets)
+  std::uint32_t next_seq = 0;    // next never-sent sequence
+  std::uint32_t cum = 0;         // cumulative ack point
+  std::uint32_t max_sent = 0;    // high-water mark, distinguishes retx
+  std::uint32_t sacked_beyond_cum = 0;
+  std::vector<bool> acked;       // IRN only: selective-ack bitmap
+  std::deque<std::uint32_t> retx_q;  // sequences queued for repair
+  Time next_send = 0;            // pacing gate
+  Time last_progress = 0;
+  Time last_rewind = -1;
+  Time last_fast_retx = -1;
+  bool sender_done = false;
+  int rto_gen = 0;               // invalidates stale RTO events
+
+  // Congestion-control scratch (interpreted per scheme, see core/cc.hpp).
+  double cc_target = 0;
+  double cc_alpha = 1;
+  Time cc_last_cut = 0;
+  Time cc_last_inc = 0;
+  double tm_prev_rtt = 0;
+  double tm_grad = 0;
+  Time hpcc_last_dec = 0;
+
+  // Receiver state.
+  std::uint32_t rcv_next = 0;
+  std::vector<bool> rcvd;        // IRN only
+  bool delivered = false;
+
+  int payload_of(std::uint32_t seq) const {
+    if (seq + 1 < total_pkts) return kPayloadBytes;
+    const std::uint64_t rest =
+        bytes - static_cast<std::uint64_t>(total_pkts - 1) * kPayloadBytes;
+    return static_cast<int>(rest == 0 ? kPayloadBytes : rest);
+  }
+  std::int64_t remaining_bytes() const {
+    return static_cast<std::int64_t>(bytes) -
+           static_cast<std::int64_t>(cum) * kPayloadBytes;
+  }
+};
+
+struct Packet {
+  Flow* flow = nullptr;
+  std::uint32_t seq = 0;
+  int wire = 0;                  // bytes on the wire (payload + header)
+  int hop = 0;                   // index into flow->path: next transmitter
+  bool ce = false;               // ECN congestion experienced
+  bool single = false;           // single-packet flow (HPQ candidate)
+  std::int64_t prio = 0;         // pFabric: remaining bytes at send time
+  float util = 0;                // HPCC INT: max link utilization seen
+  Time ts = 0;                   // send timestamp (Timely RTT)
+  int buf_in = -1;               // ingress port at the current switch
+  bool tracked = false;          // holds a flow-table reference (BFC/SFQ)
+};
+
+struct AckInfo {
+  std::uint64_t uid = 0;
+  std::uint32_t cum = 0;
+  std::uint32_t sack = 0;        // the sequence that triggered this ack
+  bool nack = false;             // GBN receiver saw an out-of-order packet
+  bool ce = false;
+  float util = 0;
+  Time ts = 0;                   // echoed send timestamp
+};
+
+// Anything a link can deliver to: a Switch or a host NIC.
+class Device {
+ public:
+  virtual ~Device() = default;
+  virtual void arrive(const Packet& pkt, int in_port) = 0;
+  // BFC pause frame: the peer behind `egress_port` updated its paused-VFID
+  // Bloom snapshot.
+  virtual void on_bfc_snapshot(int egress_port,
+                               std::shared_ptr<const BloomBits> bits) = 0;
+  // PFC: the peer behind `egress_port` paused/resumed the whole link.
+  virtual void on_pfc(int egress_port, bool paused) = 0;
+};
+
+}  // namespace bfc

@@ -1,0 +1,71 @@
+#include "core/params.hpp"
+
+namespace bfc {
+
+NetParams NetParams::derive(Scheme scheme, const NetworkOverrides& ov) {
+  NetParams p;
+  p.scheme = scheme;
+  p.bfc = is_bfc_family(scheme);
+  switch (scheme) {
+    case Scheme::kBfc:
+      break;
+    case Scheme::kBfcStatic:
+      p.dynamic_q = false;
+      break;
+    case Scheme::kBfcNoHpq:
+      p.hpq = false;
+      break;
+    case Scheme::kBfcNoResumeLimit:
+      p.resume_limit = false;
+      break;
+    case Scheme::kDcqcn:
+      p.cc = CcKind::kDcqcn;
+      p.win_cap = false;   // the point of Fig. 2: nothing bounds inflight
+      p.n_queues = 1;
+      break;
+    case Scheme::kDcqcnWin:
+      p.cc = CcKind::kDcqcn;
+      p.n_queues = 1;
+      break;
+    case Scheme::kDcqcnWinSfq:
+      p.cc = CcKind::kDcqcn;
+      p.sfq = true;
+      break;
+    case Scheme::kHpcc:
+      p.cc = CcKind::kHpcc;
+      p.n_queues = 1;
+      break;
+    case Scheme::kTimely:
+      p.cc = CcKind::kTimely;
+      p.n_queues = 1;
+      break;
+    case Scheme::kPfabric:
+      p.pfabric = true;
+      p.pfc = false;
+      p.retx = RetxMode::kIrn;  // per-packet repair is part of the design
+      break;
+    case Scheme::kSfqInfBuffer:
+      p.sfq = true;
+      p.inf_buffer = true;
+      p.pfc = false;
+      break;
+    case Scheme::kIdealFq:
+      p.per_flow_fq = true;
+      p.inf_buffer = true;
+      p.pfc = false;
+      break;
+  }
+  if (ov.pfc_enabled) p.pfc = *ov.pfc_enabled;
+  if (ov.n_queues) p.n_queues = *ov.n_queues;
+  if (ov.n_vfids) p.n_vfids = *ov.n_vfids;
+  if (ov.bloom_bytes) p.bloom_bytes = *ov.bloom_bytes;
+  if (ov.retx) p.retx = *ov.retx;
+  if (ov.sched) p.sched = *ov.sched;
+  p.hrtt_scale = ov.hrtt_scale;
+  p.data_loss = ov.data_loss_prob;
+  p.ctrl_loss = ov.control_loss_prob;
+  p.fault_seed = ov.fault_seed;
+  return p;
+}
+
+}  // namespace bfc

@@ -1,0 +1,69 @@
+// Experiment-level overrides of the network model's defaults, plus the
+// parameter set the model derives from (scheme, overrides, topology).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/scheme.hpp"
+#include "sim/time.hpp"
+
+namespace bfc {
+
+// Everything a bench can override. Unset fields take scheme- and
+// topology-appropriate defaults (see Network's parameter derivation).
+struct NetworkOverrides {
+  std::optional<bool> pfc_enabled;
+  std::optional<std::int64_t> buffer_bytes;          // shared buffer / switch
+  std::optional<std::int64_t> gateway_buffer_bytes;  // cross-DC gateways
+  std::optional<int> n_queues;      // physical data queues per egress port
+  std::optional<int> n_vfids;       // VFID space / flow-table slots
+  std::optional<int> bloom_bytes;   // pause-frame Bloom snapshot size
+  std::optional<RetxMode> retx;
+  std::optional<SchedPolicy> sched;
+  double data_loss_prob = 0;        // per-hop wire corruption of data pkts
+  double control_loss_prob = 0;     // corruption of BFC pause frames
+  double hrtt_scale = 1.0;          // misestimation of the pause horizon
+  std::uint64_t fault_seed = 1;
+};
+
+// Wire constants shared across the model. The MTU matches the paper's
+// 1 KB-payload RoCE setting.
+inline constexpr int kPayloadBytes = 1000;
+inline constexpr int kHeaderBytes = 48;
+inline constexpr int kMtuWireBytes = kPayloadBytes + kHeaderBytes;
+inline constexpr int kAckWireBytes = 64;
+
+// End-to-end congestion-control family a scheme runs at the sender.
+enum class CcKind { kNone, kDcqcn, kHpcc, kTimely };
+
+// The fully-resolved parameter set the devices run on: scheme flags plus
+// overrides with defaults filled in. Derived once per Network.
+struct NetParams {
+  Scheme scheme = Scheme::kBfc;
+  bool bfc = false;           // BFC switch machinery active
+  bool dynamic_q = true;      // dynamic queue assignment (off: BFC-VFID)
+  bool hpq = true;            // high-priority queue for 1-pkt flows
+  bool resume_limit = true;   // Section 3.5 resume limiter
+  bool pfc = true;
+  bool sfq = false;           // static hash FQ at switches
+  bool per_flow_fq = false;   // Ideal-FQ dynamic per-flow queues
+  bool inf_buffer = false;
+  bool pfabric = false;
+  CcKind cc = CcKind::kNone;
+  bool win_cap = true;        // sender windowed at ~BDP
+  int n_queues = 32;
+  int n_vfids = 16384;
+  int bloom_bytes = 128;
+  int bloom_hashes = 4;
+  RetxMode retx = RetxMode::kGoBackN;
+  SchedPolicy sched = SchedPolicy::kDrr;
+  double hrtt_scale = 1.0;
+  double data_loss = 0;
+  double ctrl_loss = 0;
+  std::uint64_t fault_seed = 1;
+
+  static NetParams derive(Scheme scheme, const NetworkOverrides& ov);
+};
+
+}  // namespace bfc

@@ -1,0 +1,59 @@
+// The congestion-control scheme taxonomy the benches sweep over, plus the
+// orthogonal knobs (loss recovery, switch scheduling policy).
+#pragma once
+
+namespace bfc {
+
+enum class Scheme {
+  kBfc,                // the paper's scheme: per-hop, per-flow backpressure
+  kBfcStatic,          // "BFC-VFID" straw proposal: static queue assignment
+  kBfcNoHpq,           // ablation: no high-priority queue for 1-pkt flows
+  kBfcNoResumeLimit,   // "BFC-BufferOpt": Section 3.5 resume limiter off
+  kDcqcn,              // rate-based ECN, no window (RoCE default)
+  kDcqcnWin,           // DCQCN + 1-BDP window cap
+  kDcqcnWinSfq,        // DCQCN + window + stochastic fair queueing
+  kHpcc,               // window-based, INT utilization feedback
+  kTimely,             // delay-gradient rate control
+  kPfabric,            // SRPT priority dropping, tiny buffers
+  kSfqInfBuffer,       // hash FQ, infinite buffers, no backpressure
+  kIdealFq,            // per-flow FQ, infinite buffers (the normalizer)
+};
+
+// Loss recovery at the sender NIC.
+enum class RetxMode {
+  kGoBackN,  // RoCE-style: any gap rewinds the window
+  kIrn,      // selective repair of the missing packets only
+};
+
+// Scheduling policy across the physical queues of an egress port.
+enum class SchedPolicy {
+  kDrr,             // deficit round robin (the paper's fair queueing)
+  kRoundRobin,      // one packet per non-empty queue
+  kStrictPriority,  // lowest queue index wins
+};
+
+inline const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kBfc: return "BFC";
+    case Scheme::kBfcStatic: return "BFC-VFID";
+    case Scheme::kBfcNoHpq: return "BFC-NoHPQ";
+    case Scheme::kBfcNoResumeLimit: return "BFC-BufferOpt";
+    case Scheme::kDcqcn: return "DCQCN";
+    case Scheme::kDcqcnWin: return "DCQCN+Win";
+    case Scheme::kDcqcnWinSfq: return "DCQCN+Win+SFQ";
+    case Scheme::kHpcc: return "HPCC";
+    case Scheme::kTimely: return "Timely";
+    case Scheme::kPfabric: return "pFabric";
+    case Scheme::kSfqInfBuffer: return "SFQ+InfBuffer";
+    case Scheme::kIdealFq: return "Ideal-FQ";
+  }
+  return "?";
+}
+
+// True for every variant that runs the BFC switch machinery.
+inline bool is_bfc_family(Scheme s) {
+  return s == Scheme::kBfc || s == Scheme::kBfcStatic ||
+         s == Scheme::kBfcNoHpq || s == Scheme::kBfcNoResumeLimit;
+}
+
+}  // namespace bfc

@@ -1,0 +1,489 @@
+#include "core/switch.hpp"
+
+#include <algorithm>
+
+#include "core/network.hpp"
+
+namespace bfc {
+
+namespace {
+
+// Extra reaction slack on top of the wire round trip: pipeline and
+// scheduling latency before a pause takes effect.
+constexpr Time kTau = microseconds(1);
+// Pause-state refresh period (Section 3.6: frames are idempotent and
+// periodically retransmitted, so losing any one frame is harmless).
+constexpr Time kRefresh = microseconds(5);
+// ECN marking ramp, expressed in time-at-line-rate of the egress port.
+constexpr double kEcnKminSec = 5e-6;
+constexpr double kEcnKmaxSec = 20e-6;
+constexpr double kEcnPmax = 0.2;
+// pFabric per-port buffer, in time-at-line-rate.
+constexpr double kPfabricCapSec = 6e-6;
+// HPCC INT: a hop reports queue occupancy in units of this much line time.
+constexpr double kIntHorizonSec = 8e-6;
+
+}  // namespace
+
+Switch::Switch(Network& net, int node, std::int64_t buffer_cap)
+    : net_(net),
+      node_(node),
+      buffer_cap_(buffer_cap),
+      table_(net.params().n_vfids, 4,
+             std::max(64, net.params().n_vfids / 16)) {
+  const NetParams& p = net_.params();
+  const auto& ports = net_.topo().ports(node);
+  const bool use_table = p.bfc || p.sfq;
+  const int base_queues =
+      p.pfabric || p.per_flow_fq ? 0 : (use_table ? p.n_queues : 1);
+  egress_.resize(ports.size());
+  ingress_.resize(ports.size());
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    Egress& eg = egress_[i];
+    eg.link = ports[i];
+    eg.dq.resize(static_cast<std::size_t>(base_queues));
+    eg.dq_bytes.assign(static_cast<std::size_t>(base_queues), 0);
+    eg.dq_flows.assign(static_cast<std::size_t>(base_queues), 0);
+
+    Ingress& in = ingress_[i];
+    const Time hrtt = 2 * ports[i].delay + kTau;
+    in.hrtt = hrtt;
+    in.horizon_bytes = static_cast<std::int64_t>(
+        ports[i].rate.bytes_per_sec() * to_sec(hrtt) * p.hrtt_scale);
+    if (in.horizon_bytes < 2 * kMtuWireBytes) {
+      in.horizon_bytes = 2 * kMtuWireBytes;
+    }
+    if (p.bfc) {
+      in.bloom = std::make_unique<CountingBloom>(p.bloom_bytes,
+                                                 p.bloom_hashes);
+    }
+  }
+  pfc_quota_ = buffer_cap_ / static_cast<std::int64_t>(ports.size());
+  if (p.bfc) {
+    net_.sim().after(kRefresh, [this] { periodic_refresh(); });
+  }
+}
+
+int Switch::num_data_queues() const {
+  return egress_.empty() ? 0 : static_cast<int>(egress_[0].dq.size());
+}
+
+std::int64_t Switch::data_queue_bytes(int port, int q) const {
+  const Egress& eg = egress_[static_cast<std::size_t>(port)];
+  if (q < 0 || static_cast<std::size_t>(q) >= eg.dq_bytes.size()) return 0;
+  return eg.dq_bytes[static_cast<std::size_t>(q)];
+}
+
+int Switch::occupied_queues(int port) const {
+  const Egress& eg = egress_[static_cast<std::size_t>(port)];
+  int n = 0;
+  for (const auto b : eg.dq_bytes) n += (b > 0);
+  return n;
+}
+
+std::int64_t Switch::paused_ns_toward(NodeTier peer_tier, Time now) const {
+  std::int64_t ns = 0;
+  for (const Egress& eg : egress_) {
+    if (net_.topo().tier_of(eg.link.peer) != peer_tier) continue;
+    ns += eg.pfc_ns + (eg.peer_pfc_paused ? now - eg.pfc_since : 0);
+  }
+  return ns;
+}
+
+void Switch::arrive(const Packet& pkt0, int in_port) {
+  const NetParams& p = net_.params();
+  Packet pkt = pkt0;
+  const Hop& hop = pkt.flow->path[static_cast<std::size_t>(pkt.hop)];
+  const int eg_port = hop.port;
+  Egress& eg = egress_[static_cast<std::size_t>(eg_port)];
+
+  if (!p.inf_buffer && buffer_used_ + pkt.wire > buffer_cap_) {
+    ++totals_.drops;
+    return;
+  }
+  pkt.buf_in = in_port;
+  enqueue(eg, eg_port, pkt, in_port);
+}
+
+void Switch::enqueue(Egress& eg, int eg_port, Packet pkt, int in_port) {
+  const NetParams& p = net_.params();
+  Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
+  const std::uint32_t vfid = pkt.flow->vfid;
+
+  // Feedback stamps happen before the packet is stored.
+  const std::int64_t port_bytes = eg.port_bytes;
+  const double line_bytes = eg.link.rate.bytes_per_sec();
+  if (p.cc == CcKind::kDcqcn) {
+    const double kmin = line_bytes * kEcnKminSec;
+    const double kmax = line_bytes * kEcnKmaxSec;
+    const double b = static_cast<double>(port_bytes);
+    if (b > kmin) {
+      const double prob =
+          b >= kmax ? 1.0 : kEcnPmax * (b - kmin) / (kmax - kmin);
+      if (net_.mark_rng().uniform() < prob) pkt.ce = true;
+    }
+  }
+  const float u = static_cast<float>(static_cast<double>(port_bytes) /
+                                     (line_bytes * kIntHorizonSec));
+  if (u > pkt.util) pkt.util = u;
+
+  if (p.pfabric) {
+    const auto cap =
+        static_cast<std::int64_t>(line_bytes * kPfabricCapSec);
+    while (eg.srpt_bytes + pkt.wire > cap && !eg.srpt.empty()) {
+      auto worst = std::prev(eg.srpt.end());
+      if (worst->first <= pkt.prio) break;  // incoming packet is the worst
+      const Packet& victim = worst->second;
+      eg.srpt_bytes -= victim.wire;
+      eg.port_bytes -= victim.wire;
+      buffer_used_ -= victim.wire;
+      ingress_[static_cast<std::size_t>(victim.buf_in)].resident_bytes -=
+          victim.wire;
+      ++totals_.drops;
+      eg.srpt.erase(worst);
+    }
+    if (eg.srpt_bytes + pkt.wire > cap) {
+      ++totals_.drops;
+      return;
+    }
+    eg.srpt.emplace(pkt.prio, pkt);
+    eg.srpt_bytes += pkt.wire;
+  } else if (p.bfc && p.hpq && pkt.single) {
+    eg.hpq.push_back(pkt);
+    eg.hpq_bytes += pkt.wire;
+  } else if (p.bfc || p.sfq) {
+    bool created = false;
+    FlowEntry* e = table_.acquire(vfid, eg_port, 0, created);
+    int q;
+    if (e == nullptr) {
+      ++bfc_totals_.overflow_packets;
+      q = static_cast<int>(vfid % eg.dq.size());
+    } else {
+      if (created) {
+        e->queue = assign_queue(eg, vfid);
+        e->in_port = in_port;
+      }
+      q = e->queue;
+      ++e->pkts;
+      pkt.tracked = true;
+    }
+    eg.dq[static_cast<std::size_t>(q)].push_back(pkt);
+    eg.dq_bytes[static_cast<std::size_t>(q)] += pkt.wire;
+    if (p.bfc && e != nullptr && !e->paused &&
+        eg.dq_bytes[static_cast<std::size_t>(q)] > in.horizon_bytes) {
+      e->paused = true;
+      // Pin the entry to the ingress whose Bloom filter records the pause,
+      // so the eventual resume removes the VFID from the same filter even
+      // when colliding flows feed the entry from several ingress ports.
+      e->in_port = in_port;
+      ++bfc_totals_.pauses;
+      in.bloom->add(vfid);
+      in.snapshot_dirty = true;
+      send_snapshot(in_port);
+    }
+  } else if (p.per_flow_fq) {
+    const std::uint64_t uid = pkt.flow->uid;
+    int q;
+    auto it = eg.flow_q.find(uid);
+    if (it != eg.flow_q.end()) {
+      q = it->second;
+    } else {
+      if (!eg.free_q.empty()) {
+        q = eg.free_q.back();
+        eg.free_q.pop_back();
+      } else {
+        q = static_cast<int>(eg.dq.size());
+        eg.dq.emplace_back();
+        eg.dq_bytes.push_back(0);
+        eg.dq_flows.push_back(0);
+      }
+      eg.flow_q.emplace(uid, q);
+      ++assignments_;
+    }
+    eg.dq[static_cast<std::size_t>(q)].push_back(pkt);
+    eg.dq_bytes[static_cast<std::size_t>(q)] += pkt.wire;
+  } else {
+    eg.dq[0].push_back(pkt);
+    eg.dq_bytes[0] += pkt.wire;
+  }
+
+  eg.port_bytes += pkt.wire;
+  buffer_used_ += pkt.wire;
+  in.resident_bytes += pkt.wire;
+  maybe_pfc(in_port);
+  kick(eg_port);
+}
+
+int Switch::assign_queue(Egress& eg, std::uint32_t vfid) {
+  const NetParams& p = net_.params();
+  const int n = static_cast<int>(eg.dq.size());
+  int q;
+  if (p.bfc && p.dynamic_q) {
+    // Prefer an empty queue (scan from the hash point for spread); only
+    // collide when all queues are taken.
+    const int start = static_cast<int>(vfid % static_cast<unsigned>(n));
+    q = -1;
+    for (int k = 0; k < n; ++k) {
+      const int cand = (start + k) % n;
+      if (eg.dq_flows[static_cast<std::size_t>(cand)] == 0) {
+        q = cand;
+        break;
+      }
+    }
+    if (q < 0) {
+      q = start;
+      for (int cand = 0; cand < n; ++cand) {
+        if (eg.dq_flows[static_cast<std::size_t>(cand)] <
+            eg.dq_flows[static_cast<std::size_t>(q)]) {
+          q = cand;
+        }
+      }
+    }
+  } else {
+    q = static_cast<int>(vfid % static_cast<unsigned>(n));
+  }
+  ++assignments_;
+  if (eg.dq_flows[static_cast<std::size_t>(q)] > 0) ++collisions_;
+  ++eg.dq_flows[static_cast<std::size_t>(q)];
+  return q;
+}
+
+void Switch::release_queue(Egress& eg, FlowEntry* e) {
+  if (e->queue >= 0) --eg.dq_flows[static_cast<std::size_t>(e->queue)];
+}
+
+bool Switch::queue_head_paused(const Egress& eg, int q) const {
+  if (!net_.params().bfc || !eg.pause_bits) return false;
+  const Packet& head = eg.dq[static_cast<std::size_t>(q)].front();
+  return bloom_snapshot_contains(*eg.pause_bits, head.flow->vfid,
+                                 net_.params().bloom_hashes);
+}
+
+int Switch::pick_data_queue(Egress& eg) {
+  const int n = static_cast<int>(eg.dq.size());
+  if (n == 0) return -1;
+  if (net_.params().sched == SchedPolicy::kStrictPriority) {
+    for (int q = 0; q < n; ++q) {
+      if (!eg.dq[static_cast<std::size_t>(q)].empty() &&
+          !queue_head_paused(eg, q)) {
+        return q;
+      }
+    }
+    return -1;
+  }
+  // DRR and plain round robin coincide at (near-)uniform packet sizes; both
+  // take the next non-empty, non-paused queue in cyclic order.
+  for (int k = 0; k < n; ++k) {
+    const int q = (eg.rr + k) % n;
+    if (eg.dq[static_cast<std::size_t>(q)].empty()) continue;
+    if (queue_head_paused(eg, q)) continue;
+    eg.rr = (q + 1) % n;
+    return q;
+  }
+  return -1;
+}
+
+void Switch::kick(int eg_port) {
+  const NetParams& p = net_.params();
+  Egress& eg = egress_[static_cast<std::size_t>(eg_port)];
+  if (eg.busy || eg.peer_pfc_paused) return;
+
+  Packet pkt;
+  int from_q = -1;
+  if (!eg.hpq.empty()) {
+    pkt = eg.hpq.front();
+    eg.hpq.pop_front();
+    eg.hpq_bytes -= pkt.wire;
+  } else if (p.pfabric) {
+    if (eg.srpt.empty()) return;
+    auto it = eg.srpt.begin();
+    pkt = it->second;
+    eg.srpt.erase(it);
+    eg.srpt_bytes -= pkt.wire;
+  } else {
+    from_q = pick_data_queue(eg);
+    if (from_q < 0) return;
+    auto& q = eg.dq[static_cast<std::size_t>(from_q)];
+    pkt = q.front();
+    q.pop_front();
+    eg.dq_bytes[static_cast<std::size_t>(from_q)] -= pkt.wire;
+  }
+
+  eg.port_bytes -= pkt.wire;
+  buffer_used_ -= pkt.wire;
+  Ingress& in = ingress_[static_cast<std::size_t>(pkt.buf_in)];
+  in.resident_bytes -= pkt.wire;
+  maybe_pfc(pkt.buf_in);
+
+  if (from_q >= 0) {
+    if (pkt.tracked) after_dequeue_bfc(eg, pkt);
+    if (p.per_flow_fq && eg.dq[static_cast<std::size_t>(from_q)].empty()) {
+      eg.flow_q.erase(pkt.flow->uid);
+      eg.free_q.push_back(from_q);
+    }
+  }
+
+  eg.busy = true;
+  const Time ser = eg.link.rate.time_to_send(pkt.wire);
+  net_.sim().after(ser, [this, eg_port] {
+    egress_[static_cast<std::size_t>(eg_port)].busy = false;
+    kick(eg_port);
+  });
+  Packet fwd = pkt;
+  fwd.hop += 1;
+  fwd.tracked = false;
+  Device* peer = net_.device(eg.link.peer);
+  const int peer_port = eg.link.peer_port;
+  net_.sim().after(ser + eg.link.delay, [this, peer, peer_port, fwd] {
+    if (net_.roll_data_loss()) return;  // wire corruption
+    peer->arrive(fwd, peer_port);
+  });
+}
+
+void Switch::after_dequeue_bfc(Egress& eg, const Packet& pkt) {
+  FlowEntry* e = table_.find(pkt.flow->vfid,
+                             static_cast<int>(&eg - egress_.data()), 0);
+  if (e == nullptr) return;
+  --e->pkts;
+  const NetParams& p = net_.params();
+  if (p.bfc && e->paused && !e->resume_pending) {
+    const Ingress& in = ingress_[static_cast<std::size_t>(e->in_port)];
+    const std::int64_t qb = eg.dq_bytes[static_cast<std::size_t>(e->queue)];
+    if (e->pkts == 0 || qb <= in.horizon_bytes / 2) {
+      request_resume(e->in_port, e);
+    }
+  }
+  if (e->pkts == 0 && !e->paused && !e->resume_pending) {
+    release_queue(eg, e);
+    table_.erase(e);
+  }
+}
+
+void Switch::request_resume(int in_port, FlowEntry* e) {
+  e->resume_pending = true;
+  Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
+  in.resume_q.push_back(e);
+  pump_resumes(in_port);
+}
+
+void Switch::pump_resumes(int in_port) {
+  Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
+  const NetParams& p = net_.params();
+  if (!p.resume_limit) {
+    while (!in.resume_q.empty()) {
+      FlowEntry* e = in.resume_q.front();
+      in.resume_q.pop_front();
+      do_resume(in_port, e);
+    }
+    return;
+  }
+  // Two resumes per hop RTT (Section 3.5): caps the post-resume inrush at
+  // ~2 hop-BDPs per queue drain interval.
+  const Time now = net_.sim().now();
+  const double refill = 2.0 * static_cast<double>(now - in.last_refill) /
+                        static_cast<double>(in.hrtt);
+  in.tokens = std::min(2.0, in.tokens + refill);
+  in.last_refill = now;
+  while (!in.resume_q.empty() && in.tokens >= 1.0) {
+    FlowEntry* e = in.resume_q.front();
+    in.resume_q.pop_front();
+    in.tokens -= 1.0;
+    do_resume(in_port, e);
+  }
+  if (!in.resume_q.empty() && !in.refill_scheduled) {
+    in.refill_scheduled = true;
+    const Time wait = static_cast<Time>(
+        (1.0 - in.tokens) * static_cast<double>(in.hrtt) / 2.0);
+    net_.sim().after(wait < 1 ? 1 : wait, [this, in_port] {
+      ingress_[static_cast<std::size_t>(in_port)].refill_scheduled = false;
+      pump_resumes(in_port);
+    });
+  }
+}
+
+void Switch::do_resume(int in_port, FlowEntry* e) {
+  Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
+  e->resume_pending = false;
+  if (!e->paused) return;
+  e->paused = false;
+  ++bfc_totals_.resumes;
+  in.bloom->remove(e->vfid);
+  in.snapshot_dirty = true;
+  send_snapshot(in_port);
+  if (e->pkts == 0) {
+    release_queue(egress_[static_cast<std::size_t>(e->egress)], e);
+    table_.erase(e);
+  }
+}
+
+void Switch::send_snapshot(int in_port) {
+  Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
+  // A corrupted frame keeps the dirty bit so the periodic refresh
+  // retransmits it — even when the update was "bloom went empty".
+  if (net_.roll_ctrl_loss()) return;
+  in.snapshot_dirty = false;
+  const PortInfo& link = egress_[static_cast<std::size_t>(in_port)].link;
+  Device* up = net_.device(link.peer);
+  const int up_port = link.peer_port;
+  auto bits = in.bloom->snapshot();
+  net_.sim().after(link.delay, [up, up_port, bits] {
+    up->on_bfc_snapshot(up_port, bits);
+  });
+}
+
+void Switch::periodic_refresh() {
+  for (std::size_t i = 0; i < ingress_.size(); ++i) {
+    Ingress& in = ingress_[i];
+    if (in.bloom && (!in.bloom->empty() || in.snapshot_dirty)) {
+      send_snapshot(static_cast<int>(i));
+    }
+  }
+  net_.sim().after(kRefresh, [this] { periodic_refresh(); });
+}
+
+void Switch::maybe_pfc(int in_port) {
+  const NetParams& p = net_.params();
+  if (!p.pfc) return;
+  Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
+  const std::int64_t hi =
+      std::max<std::int64_t>(2 * in.horizon_bytes, pfc_quota_ / 2);
+  const std::int64_t lo = hi / 2;
+  const PortInfo& link = egress_[static_cast<std::size_t>(in_port)].link;
+  if (!in.pfc_sent && in.resident_bytes > hi) {
+    in.pfc_sent = true;
+    ++totals_.pfc_pauses_sent;
+    Device* up = net_.device(link.peer);
+    const int up_port = link.peer_port;
+    net_.sim().after(link.delay,
+                     [up, up_port] { up->on_pfc(up_port, true); });
+  } else if (in.pfc_sent && in.resident_bytes < lo) {
+    in.pfc_sent = false;
+    ++totals_.pfc_resumes_sent;
+    Device* up = net_.device(link.peer);
+    const int up_port = link.peer_port;
+    net_.sim().after(link.delay,
+                     [up, up_port] { up->on_pfc(up_port, false); });
+  }
+}
+
+void Switch::on_bfc_snapshot(int egress_port,
+                             std::shared_ptr<const BloomBits> bits) {
+  Egress& eg = egress_[static_cast<std::size_t>(egress_port)];
+  eg.pause_bits = std::move(bits);
+  kick(egress_port);
+}
+
+void Switch::on_pfc(int egress_port, bool paused) {
+  Egress& eg = egress_[static_cast<std::size_t>(egress_port)];
+  if (eg.peer_pfc_paused == paused) return;
+  const Time now = net_.sim().now();
+  if (paused) {
+    eg.pfc_since = now;
+  } else {
+    eg.pfc_ns += now - eg.pfc_since;
+  }
+  eg.peer_pfc_paused = paused;
+  if (!paused) kick(egress_port);
+}
+
+}  // namespace bfc

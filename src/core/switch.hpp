@@ -1,0 +1,132 @@
+// The switch model (paper Section 3).
+//
+// Every egress port owns a set of physical data queues plus a strict-high
+// priority queue. The BFC machinery sits at the junction of ingress and
+// egress: arriving packets claim a flow-table entry, get a (dynamically
+// assigned) physical queue, and — when their queue grows past the pause
+// horizon of their ingress link — have their VFID added to that ingress
+// port's counting Bloom filter, whose snapshot is the pause frame sent
+// upstream. Resumes drain through a token bucket (the Section 3.5 limiter).
+//
+// The same egress structure also serves the comparison schemes: a single
+// FIFO with ECN marking (DCQCN/HPCC/Timely), static hash FQ (SFQ), dynamic
+// per-flow FQ (Ideal-FQ), and a priority-drop SRPT queue (pFabric).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/flow_table.hpp"
+#include "core/packet.hpp"
+#include "sim/time.hpp"
+
+namespace bfc {
+
+class Network;
+
+struct SwitchTotals {
+  std::int64_t pfc_pauses_sent = 0;
+  std::int64_t pfc_resumes_sent = 0;
+  std::int64_t drops = 0;
+};
+
+struct BfcTotals {
+  std::int64_t pauses = 0;
+  std::int64_t resumes = 0;
+  std::int64_t overflow_packets = 0;
+};
+
+class Switch : public Device {
+ public:
+  Switch(Network& net, int node, std::int64_t buffer_cap);
+
+  int id() const { return node_; }
+  std::int64_t buffer_used() const { return buffer_used_; }
+  int num_data_queues() const;
+  std::int64_t data_queue_bytes(int port, int q) const;
+
+  // BFC view of the switch (occupied-queue telemetry for Fig. 11).
+  const Switch* bfc() const { return this; }
+  int occupied_queues(int port) const;
+
+  const SwitchTotals& totals() const { return totals_; }
+  const BfcTotals& bfc_counts() const { return bfc_totals_; }
+  std::int64_t assignments() const { return assignments_; }
+  std::int64_t collisions() const { return collisions_; }
+  // PFC pause-time (ns) our egress ports spent paused, keyed by the peer
+  // node's tier; finalized up to `now`.
+  std::int64_t paused_ns_toward(NodeTier peer_tier, Time now) const;
+
+  void arrive(const Packet& pkt, int in_port) override;
+  void on_bfc_snapshot(int egress_port,
+                       std::shared_ptr<const BloomBits> bits) override;
+  void on_pfc(int egress_port, bool paused) override;
+
+ private:
+  struct Egress {
+    PortInfo link;
+    std::deque<Packet> hpq;
+    std::int64_t hpq_bytes = 0;
+    std::vector<std::deque<Packet>> dq;   // physical data queues
+    std::vector<std::int64_t> dq_bytes;
+    std::vector<int> dq_flows;            // flow-table entries assigned
+    std::multimap<std::int64_t, Packet> srpt;  // pFabric
+    std::int64_t srpt_bytes = 0;
+    std::int64_t port_bytes = 0;          // total resident on this egress
+    int rr = 0;
+    bool busy = false;
+    bool peer_pfc_paused = false;         // peer PFC-paused this egress
+    Time pfc_since = 0;
+    std::int64_t pfc_ns = 0;
+    std::shared_ptr<const BloomBits> pause_bits;  // peer's paused VFIDs
+    // Ideal-FQ: per-flow dynamic queues.
+    std::unordered_map<std::uint64_t, int> flow_q;
+    std::vector<int> free_q;
+  };
+
+  struct Ingress {
+    std::unique_ptr<CountingBloom> bloom;   // paused VFIDs, this ingress
+    std::deque<FlowEntry*> resume_q;        // behind the resume limiter
+    double tokens = 2;
+    Time last_refill = 0;
+    bool refill_scheduled = false;
+    std::int64_t horizon_bytes = 0;         // pause threshold for this link
+    Time hrtt = 0;                          // pause-feedback round trip
+    std::int64_t resident_bytes = 0;        // PFC accounting
+    bool pfc_sent = false;
+    bool snapshot_dirty = false;
+  };
+
+  void enqueue(Egress& eg, int eg_port, Packet pkt, int in_port);
+  void kick(int eg_port);
+  int pick_data_queue(Egress& eg);
+  bool queue_head_paused(const Egress& eg, int q) const;
+  int assign_queue(Egress& eg, std::uint32_t vfid);
+  void release_queue(Egress& eg, FlowEntry* e);
+  void after_dequeue_bfc(Egress& eg, const Packet& pkt);
+  void request_resume(int in_port, FlowEntry* e);
+  void pump_resumes(int in_port);
+  void do_resume(int in_port, FlowEntry* e);
+  void send_snapshot(int in_port);
+  void periodic_refresh();
+  void maybe_pfc(int in_port);
+
+  Network& net_;
+  int node_;
+  std::int64_t buffer_cap_;
+  std::int64_t buffer_used_ = 0;
+  std::vector<Egress> egress_;
+  std::vector<Ingress> ingress_;
+  FlowTable table_;
+  SwitchTotals totals_;
+  BfcTotals bfc_totals_;
+  std::int64_t assignments_ = 0;
+  std::int64_t collisions_ = 0;
+  std::int64_t pfc_quota_ = 0;
+};
+
+}  // namespace bfc

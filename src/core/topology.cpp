@@ -1,0 +1,156 @@
+#include "core/topology.hpp"
+
+namespace bfc {
+
+namespace {
+
+void link(std::vector<std::vector<PortInfo>>& ports, int a, int b, Rate rate,
+          Time delay) {
+  PortInfo ab, ba;
+  ab.peer = b;
+  ab.peer_port = static_cast<int>(ports[b].size());
+  ab.rate = rate;
+  ab.delay = delay;
+  ba.peer = a;
+  ba.peer_port = static_cast<int>(ports[a].size());
+  ba.rate = rate;
+  ba.delay = delay;
+  ports[a].push_back(ab);
+  ports[b].push_back(ba);
+}
+
+// Appends one fat-tree fabric whose nodes start at the current end of
+// `ports`, labelling every new node with `dc`.
+void build_fabric(const FatTreeConfig& cfg, int dc,
+                  std::vector<std::vector<PortInfo>>& ports,
+                  std::vector<NodeTier>& tier, std::vector<int>& dcs,
+                  std::vector<int>& hosts, std::vector<int>& tor_of_host,
+                  std::vector<std::vector<int>>& tor_uplinks,
+                  std::vector<int>& tors_out, std::vector<int>& spines_out) {
+  const int n_hosts = cfg.n_tors * cfg.hosts_per_tor;
+  const int base = static_cast<int>(ports.size());
+  const int host0 = base;
+  const int tor0 = host0 + n_hosts;
+  const int spine0 = tor0 + cfg.n_tors;
+  const int end = spine0 + cfg.n_spines;
+  ports.resize(end);
+  tier.resize(end, NodeTier::kHost);
+  dcs.resize(end, dc);
+  tor_of_host.resize(end, -1);
+  tor_uplinks.resize(end);
+
+  for (int h = 0; h < n_hosts; ++h) {
+    const int host = host0 + h;
+    const int tor = tor0 + h / cfg.hosts_per_tor;
+    tier[host] = NodeTier::kHost;
+    tor_of_host[host] = tor;
+    hosts.push_back(host);
+    link(ports, host, tor, cfg.host_rate, cfg.link_delay);
+  }
+  for (int s = 0; s < cfg.n_spines; ++s) {
+    tier[spine0 + s] = NodeTier::kSpine;
+    spines_out.push_back(spine0 + s);
+  }
+  for (int tr = 0; tr < cfg.n_tors; ++tr) {
+    const int tor = tor0 + tr;
+    tier[tor] = NodeTier::kTor;
+    tors_out.push_back(tor);
+    for (int s = 0; s < cfg.n_spines; ++s) {
+      tor_uplinks[tor].push_back(static_cast<int>(ports[tor].size()));
+      link(ports, tor, spine0 + s, cfg.fabric_rate, cfg.link_delay);
+    }
+  }
+}
+
+}  // namespace
+
+int TopoGraph::ecmp(const FlowKey& key, int n, std::uint64_t salt) {
+  return static_cast<int>(hash_key(key, salt + 1) % static_cast<unsigned>(n));
+}
+
+int TopoGraph::port_to(int node, int peer) const {
+  const auto& pl = ports_[node];
+  for (std::size_t p = 0; p < pl.size(); ++p) {
+    if (pl[p].peer == peer) return static_cast<int>(p);
+  }
+  return -1;
+}
+
+TopoGraph TopoGraph::fat_tree(const FatTreeConfig& cfg) {
+  TopoGraph t;
+  std::vector<int> tors, spines;
+  build_fabric(cfg, 0, t.ports_, t.tier_, t.dc_, t.hosts_, t.tor_of_host_,
+               t.tor_uplinks_, tors, spines);
+  t.host_rate_ = cfg.host_rate;
+  t.hosts_per_tor_ = cfg.hosts_per_tor;
+  return t;
+}
+
+TopoGraph TopoGraph::cross_dc(const CrossDcConfig& cfg) {
+  TopoGraph t;
+  std::vector<std::vector<int>> spines_by_dc(2);
+  for (int dc = 0; dc < 2; ++dc) {
+    std::vector<int> tors;
+    build_fabric(cfg.dc, dc, t.ports_, t.tier_, t.dc_, t.hosts_,
+                 t.tor_of_host_, t.tor_uplinks_, tors, spines_by_dc[dc]);
+  }
+  // One gateway per DC, attached to every spine of its fabric with fat
+  // links (the gateway aggregates toward the long-haul hop).
+  for (int dc = 0; dc < 2; ++dc) {
+    const int gw = static_cast<int>(t.ports_.size());
+    t.ports_.emplace_back();
+    t.tier_.push_back(NodeTier::kGateway);
+    t.dc_.push_back(dc);
+    t.tor_of_host_.push_back(-1);
+    t.tor_uplinks_.emplace_back();
+    t.gateway_of_dc_.push_back(gw);
+    for (int spine : spines_by_dc[dc]) {
+      link(t.ports_, spine, gw, cfg.inter_rate, cfg.dc.link_delay);
+    }
+  }
+  link(t.ports_, t.gateway_of_dc_[0], t.gateway_of_dc_[1], cfg.inter_rate,
+       cfg.inter_delay);
+  t.host_rate_ = cfg.dc.host_rate;
+  t.hosts_per_tor_ = cfg.dc.hosts_per_tor;
+  return t;
+}
+
+std::vector<Hop> TopoGraph::route(const FlowKey& key) const {
+  const int src = static_cast<int>(key.src);
+  const int dst = static_cast<int>(key.dst);
+  std::vector<Hop> path;
+  path.push_back({src, 0});  // NIC's single port
+  int src_tor = tor_of_host_[src];
+  const int dst_tor = tor_of_host_[dst];
+  if (src_tor == dst_tor) {
+    path.push_back({src_tor, port_to(src_tor, dst)});
+    return path;
+  }
+  if (dc_[src] != dc_[dst]) {
+    // Up through an ECMP spine to the local gateway, across the long-haul
+    // link, then down via the remote fabric.
+    const int up = tor_uplinks_[src_tor][static_cast<std::size_t>(
+        ecmp(key, static_cast<int>(tor_uplinks_[src_tor].size()), 11))];
+    const int spine = ports_[src_tor][up].peer;
+    const int gw = gateway_of_dc_[dc_[src]];
+    const int peer_gw = gateway_of_dc_[dc_[dst]];
+    path.push_back({src_tor, up});
+    path.push_back({spine, port_to(spine, gw)});
+    path.push_back({gw, port_to(gw, peer_gw)});
+    const int down_spine = ports_[peer_gw][static_cast<std::size_t>(ecmp(
+        key, static_cast<int>(ports_[peer_gw].size()) - 1, 13))].peer;
+    path.push_back({peer_gw, port_to(peer_gw, down_spine)});
+    path.push_back({down_spine, port_to(down_spine, dst_tor)});
+    path.push_back({dst_tor, port_to(dst_tor, dst)});
+    return path;
+  }
+  const int up = tor_uplinks_[src_tor][static_cast<std::size_t>(
+      ecmp(key, static_cast<int>(tor_uplinks_[src_tor].size()), 3))];
+  const int spine = ports_[src_tor][up].peer;
+  path.push_back({src_tor, up});
+  path.push_back({spine, port_to(spine, dst_tor)});
+  path.push_back({dst_tor, port_to(dst_tor, dst)});
+  return path;
+}
+
+}  // namespace bfc

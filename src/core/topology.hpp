@@ -1,0 +1,110 @@
+// Topologies the paper evaluates on: two-tier fat trees (T1 full-bisection,
+// T2 2:1 oversubscribed) and the two-datacenter composition of Fig. 9.
+//
+// Nodes are dense integer ids; hosts come first, then ToRs, spines, and
+// gateways. Every node owns an ordered port list; `PortInfo::peer_port` is
+// the index of the reverse port on the peer, so control frames can be
+// addressed hop-by-hop without a lookup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vfid.hpp"
+#include "sim/time.hpp"
+
+namespace bfc {
+
+struct PortInfo {
+  int peer = -1;       // node id on the other end
+  int peer_port = -1;  // index of this link in the peer's port list
+  Rate rate;
+  Time delay = 0;      // one-way propagation
+};
+
+struct FatTreeConfig {
+  int n_tors = 8;
+  int hosts_per_tor = 16;
+  int n_spines = 8;
+  Rate host_rate = Rate::gbps(100);
+  Rate fabric_rate = Rate::gbps(100);
+  Time link_delay = microseconds(1);
+
+  // T1: the paper's primary testbed — full bisection (as many uplinks as
+  // hosts per ToR).
+  static FatTreeConfig t1() {
+    FatTreeConfig c;
+    c.n_tors = 8;
+    c.hosts_per_tor = 16;
+    c.n_spines = 16;
+    return c;
+  }
+  // T2: 2:1 oversubscribed — 24-port ToRs (16 hosts + 8 uplinks).
+  static FatTreeConfig t2() {
+    FatTreeConfig c;
+    c.n_tors = 8;
+    c.hosts_per_tor = 16;
+    c.n_spines = 8;
+    return c;
+  }
+};
+
+struct CrossDcConfig {
+  FatTreeConfig dc;          // each datacenter's fabric
+  Rate inter_rate = Rate::gbps(100);
+  Time inter_delay = microseconds(200);
+
+  // Fig. 9: two 10 Gbps fabrics joined by a 100 Gbps, 200 us link.
+  static CrossDcConfig paper() {
+    CrossDcConfig c;
+    c.dc.n_tors = 4;
+    c.dc.hosts_per_tor = 8;
+    c.dc.n_spines = 4;
+    c.dc.host_rate = Rate::gbps(10);
+    c.dc.fabric_rate = Rate::gbps(10);
+    return c;
+  }
+};
+
+enum class NodeTier { kHost = 0, kTor = 1, kSpine = 2, kGateway = 3 };
+
+struct Hop {
+  int node = -1;  // node that forwards
+  int port = -1;  // its egress port index
+};
+
+class TopoGraph {
+ public:
+  static TopoGraph fat_tree(const FatTreeConfig& cfg);
+  static TopoGraph cross_dc(const CrossDcConfig& cfg);
+
+  const std::vector<int>& hosts() const { return hosts_; }
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  int num_nodes() const { return static_cast<int>(ports_.size()); }
+  bool is_host(int node) const { return tier_[node] == NodeTier::kHost; }
+  NodeTier tier_of(int node) const { return tier_[node]; }
+  int dc_of(int node) const { return dc_[node]; }
+  const std::vector<PortInfo>& ports(int node) const { return ports_[node]; }
+  Rate host_rate() const { return host_rate_; }
+
+  // The (deterministic, per-flow ECMP) path from src host to dst host:
+  // one Hop per transmitting device, starting at the source NIC.
+  std::vector<Hop> route(const FlowKey& key) const;
+
+ private:
+  // ECMP uplink choice for `key` among `n` candidates at hop `salt`.
+  static int ecmp(const FlowKey& key, int n, std::uint64_t salt);
+  int port_to(int node, int peer) const;
+
+  std::vector<std::vector<PortInfo>> ports_;
+  std::vector<NodeTier> tier_;
+  std::vector<int> dc_;
+  std::vector<int> hosts_;
+  std::vector<int> tor_of_host_;      // host id -> ToR node
+  std::vector<std::vector<int>> tor_uplinks_;   // ToR node -> spine ports
+  std::vector<int> gateway_of_dc_;    // dc -> gateway node (cross-DC only)
+  Rate host_rate_;
+  int hosts_per_tor_ = 1;
+};
+
+}  // namespace bfc

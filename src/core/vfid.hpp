@@ -1,0 +1,48 @@
+// Flow identity and the VFID (virtual flow ID) hash.
+//
+// A switch cannot afford exact per-flow state at line rate, so flows are
+// folded into a bounded VFID space (Section 3.2). All BFC bookkeeping —
+// queue assignment, pause frames, the Bloom filter — is keyed by VFID.
+#pragma once
+
+#include <cstdint>
+
+namespace bfc {
+
+struct FlowKey {
+  std::uint32_t src = 0;       // source host id
+  std::uint32_t dst = 0;       // destination host id
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  bool operator==(const FlowKey& o) const {
+    return src == o.src && dst == o.dst && src_port == o.src_port &&
+           dst_port == o.dst_port;
+  }
+};
+
+// 64-bit finalizer (xxhash/murmur style avalanche). One multiply-xor chain:
+// cheap enough for a per-packet pipeline, well distributed.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::uint64_t hash_key(const FlowKey& k, std::uint64_t salt = 0) {
+  const std::uint64_t a =
+      (static_cast<std::uint64_t>(k.src) << 32) | k.dst;
+  const std::uint64_t b =
+      (static_cast<std::uint64_t>(k.src_port) << 16) | k.dst_port;
+  return mix64(a ^ mix64(b + salt * 0x9E3779B97F4A7C15ULL));
+}
+
+// Maps a flow onto one of `nqueues` VFIDs.
+inline std::uint32_t vfid_of(const FlowKey& k, std::uint32_t nqueues) {
+  return static_cast<std::uint32_t>(hash_key(k) % nqueues);
+}
+
+}  // namespace bfc

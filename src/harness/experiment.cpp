@@ -1,0 +1,107 @@
+#include "harness/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bfc {
+
+double bench_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("BFC_BENCH_SCALE");
+    if (env == nullptr || *env == '\0') return 1.0;
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || *end != '\0') {
+      // Same convention as SizeDist::by_name: a typo must not silently
+      // become a (wildly different) default.
+      std::fprintf(stderr, "bench_scale: BFC_BENCH_SCALE='%s' is not a "
+                           "number\n", env);
+      std::abort();
+    }
+    if (v < 0.001) return 0.001;
+    if (v > 100.0) return 100.0;
+    return v;
+  }();
+  return scale;
+}
+
+std::vector<SizeBin> paper_size_bins() {
+  // Half-decade edges starting at 10^2.45 — the short-flow band the paper
+  // plots ends at ~2.8 KB.
+  static const std::uint64_t edges[] = {
+      281,       889,       2'812,      8'891,      28'117,
+      88'914,    281'171,   889'140,    2'811'707,  8'891'397,
+      28'117'066, ~std::uint64_t{0}};
+  std::vector<SizeBin> bins;
+  for (const std::uint64_t hi : edges) {
+    SizeBin b;
+    b.hi_bytes = hi;
+    bins.push_back(std::move(b));
+  }
+  return bins;
+}
+
+void fill_slowdowns(const FlowStats& stats, const Network::IdealFctFn& ideal,
+                    std::vector<SizeBin>& bins) {
+  for (const auto& [uid, r] : stats.records()) {
+    (void)uid;
+    if (!r.completed() || r.incast) continue;
+    const Time want = ideal(r.key, r.bytes);
+    const double slow =
+        static_cast<double>(r.end - r.start) / static_cast<double>(want);
+    for (SizeBin& b : bins) {
+      if (r.bytes <= b.hi_bytes) {
+        b.slowdowns.push_back(slow < 1 ? 1 : slow);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<double> bin_percentiles(const std::vector<SizeBin>& bins,
+                                    double p) {
+  std::vector<double> out;
+  out.reserve(bins.size());
+  for (const SizeBin& b : bins) out.push_back(percentile(b.slowdowns, p));
+  return out;
+}
+
+ExperimentResult run_experiment(const TopoGraph& topo,
+                                const ExperimentConfig& cfg) {
+  Simulator sim;
+  Network net(sim, topo, cfg.scheme, cfg.overrides);
+  TrafficGen gen(sim, topo, cfg.traffic,
+                 [&net](const FlowKey& key, std::uint64_t bytes,
+                        std::uint64_t uid, bool incast) {
+                   net.start_flow(key, bytes, uid, incast);
+                 });
+  VectorSampler buffers(sim, cfg.buffer_sample_period, 0,
+                        [&net](std::vector<double>& out) {
+                          for (const Switch* sw : net.switches()) {
+                            out.push_back(
+                                static_cast<double>(sw->buffer_used()) / 1e6);
+                          }
+                        });
+  const Time horizon = cfg.traffic.stop + cfg.drain;
+  sim.run_until(horizon);
+
+  net.flow_stats().apply_tags();
+  ExperimentResult r;
+  r.scheme = scheme_name(cfg.scheme);
+  r.flows_started = net.flow_stats().started();
+  r.flows_completed = net.flow_stats().completed();
+  r.drops = net.switch_totals().drops;
+  r.buffer_samples_mb = buffers.samples();
+  r.buffer_p99_mb = percentile(r.buffer_samples_mb, 99);
+  const Network::PfcFractions pfc = net.pfc_fractions(horizon);
+  r.pfc_frac_tor_to_spine = pfc.tor_to_spine;
+  r.pfc_frac_spine_to_tor = pfc.spine_to_tor;
+  r.collision_frac = net.collision_frac();
+  r.bins = paper_size_bins();
+  fill_slowdowns(net.flow_stats(), net.ideal_fct_fn(), r.bins);
+  r.p99_slowdown = bin_percentiles(r.bins, 99);
+  r.bfc = net.bfc_totals();
+  return r;
+}
+
+}  // namespace bfc

@@ -1,0 +1,65 @@
+// The experiment harness: one call = one simulated run with the standard
+// measurement set (FCT slowdown by size bin, buffers, PFC, collisions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "stats/percentile.hpp"
+#include "stats/samplers.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace bfc {
+
+// BFC_BENCH_SCALE (default 1.0) multiplies every bench's simulated
+// duration; CI smoke runs set it to ~0.05.
+double bench_scale();
+
+// A flow-size histogram bin: holds the FCT slowdowns of completed flows
+// with bytes <= hi_bytes (and above the previous bin's edge).
+struct SizeBin {
+  std::uint64_t hi_bytes = 0;
+  std::vector<double> slowdowns;
+};
+
+// The paper's half-decade size bins (281 B ... 28 MB, plus a catch-all).
+std::vector<SizeBin> paper_size_bins();
+
+// Buckets every completed, non-incast flow of `stats` into `bins` with
+// slowdown = FCT / ideal FCT. Call stats.apply_tags() first.
+void fill_slowdowns(const FlowStats& stats, const Network::IdealFctFn& ideal,
+                    std::vector<SizeBin>& bins);
+
+// Per-bin percentile of the slowdown samples (0 for empty bins).
+std::vector<double> bin_percentiles(const std::vector<SizeBin>& bins,
+                                    double p);
+
+struct ExperimentConfig {
+  Scheme scheme = Scheme::kBfc;
+  TrafficConfig traffic;
+  NetworkOverrides overrides;
+  Time drain = milliseconds(2);  // run past traffic.stop for completions
+  Time buffer_sample_period = microseconds(10);
+};
+
+struct ExperimentResult {
+  std::string scheme;
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::int64_t drops = 0;
+  std::vector<double> buffer_samples_mb;  // per-switch occupancy samples
+  double buffer_p99_mb = 0;
+  double pfc_frac_tor_to_spine = 0;
+  double pfc_frac_spine_to_tor = 0;
+  double collision_frac = 0;
+  std::vector<SizeBin> bins;
+  std::vector<double> p99_slowdown;  // per bin
+  BfcTotals bfc;
+};
+
+ExperimentResult run_experiment(const TopoGraph& topo,
+                                const ExperimentConfig& cfg);
+
+}  // namespace bfc

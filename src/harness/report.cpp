@@ -1,0 +1,66 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+
+namespace bfc {
+
+void print_slowdown_table(const std::vector<SizeBin>& bins_template,
+                          const std::vector<ExperimentResult>& results) {
+  std::printf("%-14s", "size<=");
+  for (const ExperimentResult& r : results) {
+    std::printf(" %14s", r.scheme.c_str());
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < bins_template.size(); ++i) {
+    bool any = false;
+    for (const ExperimentResult& r : results) {
+      if (i < r.bins.size() && !r.bins[i].slowdowns.empty()) any = true;
+    }
+    if (!any) continue;
+    if (bins_template[i].hi_bytes == ~std::uint64_t{0}) {
+      // The catch-all bin: label by the previous edge instead of 2^64.
+      char label[32];
+      std::snprintf(label, sizeof label, ">%.1fKB",
+                    i > 0 ? static_cast<double>(bins_template[i - 1].hi_bytes) /
+                                1e3
+                          : 0.0);
+      std::printf("%-13s ", label);
+    } else {
+      std::printf("%-11.1fKB ",
+                  static_cast<double>(bins_template[i].hi_bytes) / 1e3);
+    }
+    for (const ExperimentResult& r : results) {
+      const double p99 =
+          i < r.bins.size() ? percentile(r.bins[i].slowdowns, 99) : 0;
+      std::printf(" %14.2f", p99);
+    }
+    std::printf("\n");
+  }
+}
+
+bool write_slowdown_csv_file(const std::string& path,
+                             const std::vector<ExperimentResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "scheme,size_hi_bytes,percentile,slowdown\n");
+  for (const ExperimentResult& r : results) {
+    for (const SizeBin& b : r.bins) {
+      if (b.slowdowns.empty()) continue;
+      for (const double p : {50.0, 90.0, 99.0}) {
+        if (b.hi_bytes == ~std::uint64_t{0}) {
+          // Catch-all bin: "inf" parses as a float for plotting tools.
+          std::fprintf(f, "%s,inf,%g,%g\n", r.scheme.c_str(), p,
+                       percentile(b.slowdowns, p));
+        } else {
+          std::fprintf(f, "%s,%llu,%g,%g\n", r.scheme.c_str(),
+                       static_cast<unsigned long long>(b.hi_bytes), p,
+                       percentile(b.slowdowns, p));
+        }
+      }
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace bfc

@@ -1,0 +1,22 @@
+// Human-readable tables and CSV export for experiment results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace bfc {
+
+// Prints a p99-slowdown-by-size table: one row per (non-empty) bin of
+// `bins_template`, one column per result (labelled by result.scheme).
+void print_slowdown_table(const std::vector<SizeBin>& bins_template,
+                          const std::vector<ExperimentResult>& results);
+
+// Long-format CSV: scheme,size_hi_bytes,percentile,slowdown with rows for
+// p50/p90/p99 of every non-empty bin. Returns false if the file could not
+// be opened.
+bool write_slowdown_csv_file(const std::string& path,
+                             const std::vector<ExperimentResult>& results);
+
+}  // namespace bfc

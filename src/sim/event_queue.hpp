@@ -1,0 +1,62 @@
+// Min-heap event queue with FIFO tie-break.
+//
+// Events at the same timestamp run in the order they were pushed; a strictly
+// monotonic sequence number disambiguates the heap comparison. This is what
+// makes the simulator deterministic under a fixed seed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bfc {
+
+class EventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  void push(Time at, Fn fn) {
+    heap_.push_back(Node{at, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  // Pops the earliest event into (at, fn). Returns false when empty.
+  bool pop(Time& at, Fn& fn) {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    at = heap_.back().at;
+    fn = std::move(heap_.back().fn);
+    heap_.pop_back();
+    return true;
+  }
+
+  // Earliest pending timestamp; only valid when !empty().
+  Time next_time() const { return heap_.front().at; }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Node {
+    Time at;
+    std::uint64_t seq;
+    Fn fn;
+  };
+  // "Later" orders the max-heap so the earliest (and, at ties, the
+  // first-pushed) event sits at the front.
+  struct Later {
+    bool operator()(const Node& a, const Node& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Node> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace bfc

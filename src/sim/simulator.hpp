@@ -1,0 +1,45 @@
+// The discrete-event simulation loop.
+#pragma once
+
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace bfc {
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  // Schedule `fn` at absolute time `at` (clamped to now: the past is not
+  // addressable).
+  void at(Time at, EventQueue::Fn fn) {
+    queue_.push(at < now_ ? now_ : at, std::move(fn));
+  }
+
+  void after(Time delay, EventQueue::Fn fn) {
+    at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  // Runs every event with timestamp <= stop, then advances the clock to
+  // `stop` even if the queue drained early.
+  void run_until(Time stop) {
+    Time at;
+    EventQueue::Fn fn;
+    while (!queue_.empty() && queue_.next_time() <= stop) {
+      queue_.pop(at, fn);
+      now_ = at;
+      fn();
+    }
+    if (now_ < stop) now_ = stop;
+  }
+
+  EventQueue& queue() { return queue_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+};
+
+}  // namespace bfc

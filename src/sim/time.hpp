@@ -1,0 +1,49 @@
+// Simulated time and link-rate units.
+//
+// Time is an integer count of nanoseconds. Keeping it integral makes event
+// ordering exact and runs reproducible; all fractional math happens in double
+// and is rounded once, when a duration is produced.
+#pragma once
+
+#include <cstdint>
+
+namespace bfc {
+
+using Time = std::int64_t;  // nanoseconds
+
+constexpr Time nanoseconds(std::int64_t n) { return n; }
+constexpr Time microseconds(std::int64_t n) { return n * 1'000; }
+constexpr Time milliseconds(std::int64_t n) { return n * 1'000'000; }
+constexpr Time seconds(std::int64_t n) { return n * 1'000'000'000; }
+
+inline double to_sec(Time t) { return static_cast<double>(t) * 1e-9; }
+inline double to_usec(Time t) { return static_cast<double>(t) * 1e-3; }
+
+// A link or sender rate. Stored in bits per second.
+class Rate {
+ public:
+  constexpr Rate() = default;
+
+  static constexpr Rate gbps(double g) { return Rate(g * 1e9); }
+  static constexpr Rate bps(double b) { return Rate(b); }
+
+  constexpr double bits_per_sec() const { return bps_; }
+  constexpr double bytes_per_sec() const { return bps_ / 8.0; }
+
+  // Serialization time of `bytes` on this link, rounded up to a whole ns so
+  // a busy link is never free again "now".
+  Time time_to_send(std::int64_t bytes) const {
+    const double ns = static_cast<double>(bytes) * 8e9 / bps_;
+    const Time t = static_cast<Time>(ns);
+    return t + (static_cast<double>(t) < ns ? 1 : 0);
+  }
+
+  constexpr bool operator==(const Rate& o) const { return bps_ == o.bps_; }
+  constexpr bool operator<(const Rate& o) const { return bps_ < o.bps_; }
+
+ private:
+  explicit constexpr Rate(double bps) : bps_(bps) {}
+  double bps_ = 0;
+};
+
+}  // namespace bfc

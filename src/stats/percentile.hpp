@@ -1,0 +1,23 @@
+// Percentile over an unsorted sample set.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace bfc {
+
+// p in [0, 100]. Returns 0 on an empty sample set (benches print columns
+// for bins that may have no completions).
+inline double percentile(const std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0;
+  std::vector<double> v(samples);
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  auto k = static_cast<std::size_t>(rank);
+  if (k >= v.size() - 1) k = v.size() - 1;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end());
+  return v[k];
+}
+
+}  // namespace bfc

@@ -1,0 +1,75 @@
+// Periodic measurement hooks driven by the simulator clock.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace bfc {
+
+// Calls `fn(out)` every `period` starting at `start`; the callback appends
+// any number of samples per tick (e.g. one per switch).
+class VectorSampler {
+ public:
+  using Fn = std::function<void(std::vector<double>&)>;
+
+  VectorSampler(Simulator& sim, Time period, Time start, Fn fn)
+      : sim_(sim), period_(period < 1 ? 1 : period), fn_(std::move(fn)) {
+    sim_.at(start, [this] { tick(); });
+  }
+
+  VectorSampler(const VectorSampler&) = delete;
+  VectorSampler& operator=(const VectorSampler&) = delete;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void tick() {
+    fn_(samples_);
+    sim_.after(period_, [this] { tick(); });
+  }
+
+  Simulator& sim_;
+  Time period_;
+  Fn fn_;
+  std::vector<double> samples_;
+};
+
+// Measures goodput between `start` and `stop` against a capacity:
+//   utilization = delivered(stop) - delivered(start)
+//                 ---------------------------------- .
+//                 capacity_bytes_per_sec * window
+// If `start` does not leave room before `stop` (short BFC_BENCH_SCALE
+// runs), it is pulled in to stop/2 so the window never inverts.
+class UtilizationMeter {
+ public:
+  using BytesFn = std::function<std::int64_t()>;
+
+  UtilizationMeter(Simulator& sim, Time start, Time stop, BytesFn fn,
+                   double capacity_bytes_per_sec)
+      : fn_(std::move(fn)), capacity_(capacity_bytes_per_sec) {
+    start_ = start < stop ? start : stop / 2;
+    stop_ = stop;
+    sim.at(start_, [this] { b0_ = fn_(); });
+    sim.at(stop_, [this] { b1_ = fn_(); });
+  }
+
+  double utilization() const {
+    const Time window = stop_ - start_;
+    if (window <= 0 || capacity_ <= 0) return 0;
+    return static_cast<double>(b1_ - b0_) / (capacity_ * to_sec(window));
+  }
+
+ private:
+  BytesFn fn_;
+  double capacity_;
+  Time start_ = 0;
+  Time stop_ = 0;
+  std::int64_t b0_ = 0;
+  std::int64_t b1_ = 0;
+};
+
+}  // namespace bfc

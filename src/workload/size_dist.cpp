@@ -1,0 +1,126 @@
+#include "workload/size_dist.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bfc {
+
+namespace {
+
+// Within a CDF segment we interpolate log(bytes) linearly in probability,
+// i.e. conditional on the segment, bytes = b0 * r^t with t ~ U[0,1] and
+// r = b1/b0. The conditional mean of that is b0 * (r - 1) / ln(r).
+double segment_mean(double b0, double b1) {
+  if (b1 <= b0) return b0;
+  const double r = b1 / b0;
+  return b0 * (r - 1) / std::log(r);
+}
+
+// Mean of the segment truncated to bytes <= cut (cut within [b0, b1]),
+// times the probability fraction of the segment below the cut.
+double segment_mass_below(double b0, double b1, double cut) {
+  if (cut >= b1) return segment_mean(b0, b1);
+  if (cut <= b0) return 0;
+  const double r = b1 / b0;
+  const double s = std::log(cut / b0) / std::log(r);  // P fraction below cut
+  return b0 * (std::pow(r, s) - 1) / std::log(r);
+}
+
+}  // namespace
+
+SizeDist::SizeDist(std::string name, std::vector<Pt> pts)
+    : name_(std::move(name)), pts_(std::move(pts)) {
+  mean_ = 0;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    mean_ += (pts_[i].cdf - pts_[i - 1].cdf) *
+             segment_mean(pts_[i - 1].bytes, pts_[i].bytes);
+  }
+  if (pts_.size() == 1) mean_ = pts_[0].bytes;
+}
+
+SizeDist SizeDist::fixed(std::uint64_t bytes) {
+  return SizeDist("fixed", {{static_cast<double>(bytes), 1.0}});
+}
+
+std::uint64_t SizeDist::sample(Rng& rng) const {
+  if (pts_.size() == 1) {
+    return static_cast<std::uint64_t>(pts_[0].bytes);
+  }
+  const double u = rng.uniform();
+  std::size_t i = 1;
+  while (i + 1 < pts_.size() && pts_[i].cdf < u) ++i;
+  const Pt& a = pts_[i - 1];
+  const Pt& b = pts_[i];
+  const double span = b.cdf - a.cdf;
+  const double t = span <= 0 ? 0 : (u - a.cdf) / span;
+  const double bytes = a.bytes * std::pow(b.bytes / a.bytes, t);
+  return bytes < 1 ? 1 : static_cast<std::uint64_t>(bytes);
+}
+
+double SizeDist::byte_weighted_cdf(std::uint64_t bytes) const {
+  if (mean_ <= 0) return 1;
+  if (pts_.size() == 1) {
+    return static_cast<double>(bytes) >= pts_[0].bytes ? 1.0 : 0.0;
+  }
+  const double cut = static_cast<double>(bytes);
+  double mass = 0;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    mass += (pts_[i].cdf - pts_[i - 1].cdf) *
+            segment_mass_below(pts_[i - 1].bytes, pts_[i].bytes, cut);
+  }
+  const double frac = mass / mean_;
+  return frac > 1 ? 1 : frac;
+}
+
+const SizeDist& SizeDist::by_name(const std::string& name) {
+  // Piecewise CDFs after the published workload shapes: Google's bytes
+  // concentrate in small RPCs, FB_Hadoop spreads into the megabytes,
+  // WebSearch is dominated by multi-MB responses.
+  static const SizeDist google("google",
+                               {{64, 0.0},
+                                {256, 0.18},
+                                {512, 0.36},
+                                {1024, 0.52},
+                                {2048, 0.64},
+                                {4096, 0.74},
+                                {8192, 0.82},
+                                {16384, 0.885},
+                                {32768, 0.93},
+                                {65536, 0.96},
+                                {131072, 0.978},
+                                {262144, 0.989},
+                                {524288, 0.995},
+                                {1048576, 0.998},
+                                {2097152, 0.9995},
+                                {5242880, 1.0}});
+  static const SizeDist fb_hadoop("fb_hadoop",
+                                  {{256, 0.0},
+                                   {1024, 0.12},
+                                   {4096, 0.28},
+                                   {10240, 0.45},
+                                   {51200, 0.60},
+                                   {204800, 0.72},
+                                   {1048576, 0.84},
+                                   {5242880, 0.93},
+                                   {10485760, 0.965},
+                                   {31457280, 1.0}});
+  static const SizeDist websearch("websearch",
+                                  {{1000, 0.0},
+                                   {10000, 0.15},
+                                   {30000, 0.30},
+                                   {100000, 0.50},
+                                   {300000, 0.62},
+                                   {1000000, 0.72},
+                                   {3000000, 0.82},
+                                   {10000000, 0.93},
+                                   {30000000, 1.0}});
+  if (name == "google") return google;
+  if (name == "fb_hadoop" || name == "fb") return fb_hadoop;
+  if (name == "websearch") return websearch;
+  std::fprintf(stderr, "SizeDist::by_name: unknown workload '%s'\n",
+               name.c_str());
+  std::abort();
+}
+
+}  // namespace bfc

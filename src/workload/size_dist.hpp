@@ -1,0 +1,39 @@
+// Flow-size distributions: the industry workloads the paper replays
+// (Google all-RPC, Facebook Hadoop, DCTCP WebSearch) as piecewise
+// log-linear CDFs, plus a degenerate fixed size for synthetic benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace bfc {
+
+class SizeDist {
+ public:
+  // "google", "fb_hadoop" (alias "fb"), "websearch". Aborts on unknown
+  // names: a typo'd workload must not silently become a default.
+  static const SizeDist& by_name(const std::string& name);
+  static SizeDist fixed(std::uint64_t bytes);
+
+  std::uint64_t sample(Rng& rng) const;
+  double mean_bytes() const { return mean_; }
+  // Fraction of all bytes carried by flows of size <= `bytes`.
+  double byte_weighted_cdf(std::uint64_t bytes) const;
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Pt {
+    double bytes;
+    double cdf;
+  };
+  SizeDist(std::string name, std::vector<Pt> pts);
+
+  std::string name_;
+  std::vector<Pt> pts_;  // cdf strictly ascending to 1.0
+  double mean_ = 0;
+};
+
+}  // namespace bfc

@@ -1,0 +1,115 @@
+#include "workload/traffic_gen.hpp"
+
+namespace bfc {
+
+TrafficGen::TrafficGen(Simulator& sim, const TopoGraph& topo,
+                       const TrafficConfig& cfg, StartFn start)
+    : sim_(sim),
+      topo_(topo),
+      cfg_(cfg),
+      start_(std::move(start)),
+      rng_(cfg.seed),
+      uid_(cfg.first_uid) {
+  const double agg_bytes_per_sec =
+      static_cast<double>(topo_.num_hosts()) *
+      topo_.host_rate().bytes_per_sec();
+  if (cfg_.load > 0 && cfg_.dist != nullptr) {
+    const double flows_per_sec =
+        cfg_.load * agg_bytes_per_sec / cfg_.dist->mean_bytes();
+    arrival_mean_sec_ = 1.0 / flows_per_sec;
+    schedule_arrival();
+  }
+  if (cfg_.incast_period > 0) {
+    launch_incast();  // first burst at t=0, then every period
+  } else if (cfg_.incast_load > 0) {
+    const double incasts_per_sec =
+        cfg_.incast_load * agg_bytes_per_sec /
+        static_cast<double>(cfg_.incast_total_bytes);
+    incast_mean_sec_ = 1.0 / incasts_per_sec;
+    schedule_incast();
+  }
+}
+
+int TrafficGen::random_host_except(int avoid, int want_dc) {
+  const auto& hosts = topo_.hosts();
+  // Bounded rejection sampling; if the DC constraint is unsatisfiable
+  // (e.g. inter-DC traffic requested on a single-DC topology), drop it
+  // rather than spinning forever.
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    const int h = hosts[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(hosts.size()) - 1))];
+    if (h == avoid) continue;
+    if (want_dc >= 0 && topo_.dc_of(h) != want_dc) continue;
+    return h;
+  }
+  for (;;) {
+    const int h = hosts[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(hosts.size()) - 1))];
+    if (h != avoid) return h;
+  }
+}
+
+void TrafficGen::schedule_arrival() {
+  const Time gap = static_cast<Time>(
+      rng_.exponential(arrival_mean_sec_) * 1e9);
+  const Time at = sim_.now() + (gap < 1 ? 1 : gap);
+  if (at > cfg_.stop) return;
+  sim_.at(at, [this] {
+    launch_one();
+    schedule_arrival();
+  });
+}
+
+void TrafficGen::launch_one() {
+  const auto& hosts = topo_.hosts();
+  const int src = hosts[static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(hosts.size()) - 1))];
+  int want_dc = -1;
+  if (cfg_.inter_dc_frac > 0 && rng_.uniform() < cfg_.inter_dc_frac) {
+    want_dc = 1 - topo_.dc_of(src);  // the other datacenter
+  } else if (cfg_.inter_dc_frac > 0) {
+    want_dc = topo_.dc_of(src);
+  }
+  const int dst = random_host_except(src, want_dc);
+  FlowKey key{static_cast<std::uint32_t>(src),
+              static_cast<std::uint32_t>(dst),
+              static_cast<std::uint16_t>(rng_.uniform_int(1024, 65000)),
+              static_cast<std::uint16_t>(rng_.uniform_int(1, 1023))};
+  start_(key, cfg_.dist->sample(rng_), uid_++, /*incast=*/false);
+}
+
+void TrafficGen::schedule_incast() {
+  const Time gap =
+      static_cast<Time>(rng_.exponential(incast_mean_sec_) * 1e9);
+  const Time at = sim_.now() + (gap < 1 ? 1 : gap);
+  if (at > cfg_.stop) return;
+  sim_.at(at, [this] {
+    launch_incast();
+    schedule_incast();
+  });
+}
+
+void TrafficGen::launch_incast() {
+  const auto& hosts = topo_.hosts();
+  const int dst = hosts[static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(hosts.size()) - 1))];
+  const int fanin = cfg_.incast_fanin < 1 ? 1 : cfg_.incast_fanin;
+  const std::uint64_t per_sender =
+      cfg_.incast_total_bytes / static_cast<std::uint64_t>(fanin);
+  for (int i = 0; i < fanin; ++i) {
+    const int src = random_host_except(dst, topo_.dc_of(dst));
+    FlowKey key{static_cast<std::uint32_t>(src),
+                static_cast<std::uint32_t>(dst),
+                static_cast<std::uint16_t>(rng_.uniform_int(1024, 65000)),
+                static_cast<std::uint16_t>(rng_.uniform_int(1, 1023))};
+    start_(key, per_sender < 1 ? 1 : per_sender, uid_++, /*incast=*/true);
+  }
+  if (cfg_.incast_period > 0) {
+    const Time at = sim_.now() + cfg_.incast_period;
+    if (at <= cfg_.stop) {
+      sim_.at(at, [this] { launch_incast(); });
+    }
+  }
+}
+
+}  // namespace bfc

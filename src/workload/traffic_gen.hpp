@@ -1,0 +1,57 @@
+// Open-loop traffic: Poisson flow arrivals drawn from a size distribution,
+// plus incast bursts — either Poisson at a target load or strictly periodic
+// (Fig. 8's fan-in sweep).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "workload/size_dist.hpp"
+
+namespace bfc {
+
+struct TrafficConfig {
+  const SizeDist* dist = nullptr;
+  double load = 0;          // background load, fraction of host capacity
+  double incast_load = 0;   // additional load delivered as incast bursts
+  int incast_fanin = 100;
+  std::uint64_t incast_total_bytes = 2'000'000;  // 100-to-1 x 20 KB
+  Time incast_period = 0;   // > 0: periodic bursts instead of Poisson
+  double inter_dc_frac = 0; // probability a flow crosses datacenters
+  Time stop = 0;            // no new arrivals after this
+  std::uint64_t seed = 1;
+  std::uint64_t first_uid = 1;
+};
+
+class TrafficGen {
+ public:
+  using StartFn = std::function<void(const FlowKey&, std::uint64_t bytes,
+                                     std::uint64_t uid, bool incast)>;
+
+  TrafficGen(Simulator& sim, const TopoGraph& topo, const TrafficConfig& cfg,
+             StartFn start);
+
+  std::uint64_t next_uid() const { return uid_; }
+
+ private:
+  void schedule_arrival();
+  void schedule_incast();
+  void launch_one();
+  void launch_incast();
+  int random_host_except(int avoid, int want_dc);
+
+  Simulator& sim_;
+  const TopoGraph& topo_;
+  TrafficConfig cfg_;
+  StartFn start_;
+  Rng rng_;
+  std::uint64_t uid_;
+  double arrival_mean_sec_ = 0;  // background inter-arrival mean
+  double incast_mean_sec_ = 0;   // Poisson incast inter-arrival mean
+};
+
+}  // namespace bfc

@@ -1,0 +1,76 @@
+// CountingBloom: no false negatives, remove restores state, snapshots
+// agree with the live filter.
+#include "core/bloom.hpp"
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "test_util.hpp"
+
+using namespace bfc;
+
+int main() {
+  CountingBloom cb(128, 4);
+
+  // No false negatives while present.
+  std::vector<std::uint32_t> keys;
+  for (std::uint32_t i = 0; i < 48; ++i) keys.push_back(i * 2654435761u);
+  for (auto k : keys) cb.add(k);
+  for (auto k : keys) CHECK(cb.contains(k));
+
+  // Snapshot agrees with the live filter for members.
+  auto bits = cb.snapshot();
+  for (auto k : keys) CHECK(bloom_snapshot_contains(*bits, k, 4));
+
+  // Removing everything restores the empty state exactly — counting
+  // semantics, not a plain bitmap.
+  for (auto k : keys) cb.remove(k);
+  CHECK(cb.empty());
+  for (auto k : keys) CHECK(!cb.contains(k));
+  auto empty_bits = cb.snapshot();
+  for (auto w : *empty_bits) CHECK(w == 0);
+
+  // Double-add requires double-remove (the counter property).
+  cb.add(7);
+  cb.add(7);
+  cb.remove(7);
+  CHECK(cb.contains(7));
+  cb.remove(7);
+  CHECK(!cb.contains(7));
+
+  // Removing a never-added key must not disturb members.
+  cb.add(1000);
+  cb.remove(99991);
+  CHECK(cb.contains(1000));
+
+  // Old snapshots stay valid after the filter mutates.
+  auto before = cb.snapshot();
+  cb.remove(1000);
+  CHECK(bloom_snapshot_contains(*before, 1000, 4));
+  CHECK(!cb.contains(1000));
+
+  // Non-multiple-of-8 wire sizes: filter and snapshot must still agree on
+  // the probe modulus (both are rounded to whole 64-bit words).
+  CountingBloom odd(20, 4);
+  for (std::uint32_t k = 0; k < 40; ++k) odd.add(k * 2654435761u);
+  auto odd_bits = odd.snapshot();
+  for (std::uint32_t k = 0; k < 40; ++k) {
+    CHECK(bloom_snapshot_contains(*odd_bits, k * 2654435761u, 4));
+  }
+
+  // False-positive rate of a small filter is nonzero but bounded: sanity
+  // check the hash spread rather than an exact constant.
+  CountingBloom small(16, 4);
+  Rng rng(3);
+  for (int i = 0; i < 16; ++i) {
+    small.add(static_cast<std::uint32_t>(rng.next_u64()));
+  }
+  int fp = 0;
+  const int probes = 2000;
+  for (int i = 0; i < probes; ++i) {
+    if (small.contains(static_cast<std::uint32_t>(rng.next_u64()))) ++fp;
+  }
+  CHECK(fp > 0);            // 16 keys in 128 bits must alias sometimes
+  CHECK(fp < probes / 2);   // ...but not half the universe
+  return 0;
+}

@@ -1,0 +1,67 @@
+// EventQueue: time ordering with FIFO tie-break; Simulator clock semantics.
+#include "sim/event_queue.hpp"
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+using namespace bfc;
+
+int main() {
+  {
+    // Random pushes come out time-sorted.
+    EventQueue q;
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+      q.push(rng.uniform_int(0, 500), [] {});
+    }
+    Time prev = -1;
+    Time at;
+    EventQueue::Fn fn;
+    while (q.pop(at, fn)) {
+      CHECK(at >= prev);
+      prev = at;
+    }
+  }
+
+  {
+    // Same-timestamp events run in push order.
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 32; ++i) {
+      q.push(100, [&order, i] { order.push_back(i); });
+      q.push(50, [] {});  // interleave earlier events
+    }
+    Time at;
+    EventQueue::Fn fn;
+    while (q.pop(at, fn)) fn();
+    CHECK(order.size() == 32);
+    for (int i = 0; i < 32; ++i) CHECK(order[static_cast<std::size_t>(i)] == i);
+  }
+
+  {
+    // run_until executes events at exactly `stop`, advances the clock, and
+    // leaves later events pending.
+    Simulator sim;
+    int ran = 0;
+    sim.at(10, [&] { ++ran; });
+    sim.at(20, [&] { ++ran; });
+    sim.at(21, [&] { ++ran; });
+    sim.run_until(20);
+    CHECK(ran == 2);
+    CHECK(sim.now() == 20);
+    sim.run_until(30);
+    CHECK(ran == 3);
+    CHECK(sim.now() == 30);
+
+    // Scheduling in the past clamps to now instead of rewinding time.
+    bool late = false;
+    sim.at(5, [&] { late = true; });
+    sim.run_until(30);
+    CHECK(late);
+    CHECK(sim.now() == 30);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// FlowTable: acquire/find/erase round trips, bounded occupancy, overflow
+// chaining and rejection.
+#include "core/flow_table.hpp"
+
+#include "test_util.hpp"
+
+using namespace bfc;
+
+int main() {
+  {
+    FlowTable t(1024, 4, 16);
+    bool created = false;
+    FlowEntry* e = t.acquire(42, 3, 0, created);
+    CHECK(e != nullptr);
+    CHECK(created);
+    CHECK(t.size() == 1);
+
+    // Same key: same entry, not created again.
+    bool created2 = true;
+    FlowEntry* e2 = t.acquire(42, 3, 0, created2);
+    CHECK(e2 == e);
+    CHECK(!created2);
+    CHECK(t.find(42, 3, 0) == e);
+    // Different egress is a different key.
+    CHECK(t.find(42, 4, 0) == nullptr);
+
+    t.erase(e);
+    CHECK(t.size() == 0);
+    CHECK(t.find(42, 3, 0) == nullptr);
+  }
+
+  {
+    // Fill far beyond one bucket: the overflow pool chains, then rejects.
+    // With 8 slots / 4 ways there are 2 buckets; 8 + 4 distinct keys can
+    // exceed slots + overflow.
+    FlowTable t(8, 4, 4);
+    bool created = false;
+    int stored = 0;
+    for (std::uint32_t v = 0; v < 64; ++v) {
+      if (t.acquire(v, 0, 0, created) != nullptr) ++stored;
+    }
+    CHECK(stored <= 12);             // bounded: never exceeds capacity
+    CHECK(t.size() == static_cast<std::size_t>(stored));
+    CHECK(t.overflow_rejects() > 0); // the rest were refused, not evicted
+
+    // Everything stored is still findable (nothing was evicted).
+    int found = 0;
+    for (std::uint32_t v = 0; v < 64; ++v) {
+      if (t.find(v, 0, 0) != nullptr) ++found;
+    }
+    CHECK(found == stored);
+  }
+
+  {
+    // Erase of an overflow-chained entry relinks the chain and frees the
+    // slot for reuse.
+    FlowTable t(4, 4, 2);  // one bucket of 4 ways + 2 overflow
+    bool created = false;
+    FlowEntry* entries[6];
+    for (std::uint32_t v = 0; v < 6; ++v) {
+      entries[v] = t.acquire(v, 0, 0, created);
+      CHECK(entries[v] != nullptr);
+    }
+    CHECK(t.acquire(100, 0, 0, created) == nullptr);
+    t.erase(entries[4]);  // an overflow entry
+    CHECK(t.find(4, 0, 0) == nullptr);
+    CHECK(t.find(5, 0, 0) == entries[5]);
+    FlowEntry* reused = t.acquire(100, 0, 0, created);
+    CHECK(reused != nullptr);
+    CHECK(created);
+    CHECK(t.size() == 6);
+  }
+  return 0;
+}

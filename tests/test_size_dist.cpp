@@ -1,0 +1,61 @@
+// SizeDist: sampling matches the analytic mean, the byte-weighted CDF is
+// monotone and lands the workload-ordering claim of Fig. 4.
+#include "workload/size_dist.hpp"
+
+#include "sim/rng.hpp"
+#include "test_util.hpp"
+
+using namespace bfc;
+
+namespace {
+
+void check_empirical_mean(const char* name) {
+  const SizeDist& d = SizeDist::by_name(name);
+  Rng rng(123);
+  double acc = 0;
+  const int n = 400'000;
+  for (int i = 0; i < n; ++i) {
+    acc += static_cast<double>(d.sample(rng));
+  }
+  const double empirical = acc / n;
+  // Heavy-tailed: allow 10% sampling tolerance.
+  CHECK_NEAR(empirical / d.mean_bytes(), 1.0, 0.10);
+}
+
+}  // namespace
+
+int main() {
+  check_empirical_mean("google");
+  check_empirical_mean("fb_hadoop");
+  check_empirical_mean("websearch");
+
+  // "fb" aliases fb_hadoop.
+  CHECK(&SizeDist::by_name("fb") == &SizeDist::by_name("fb_hadoop"));
+
+  // Fixed distribution is degenerate.
+  const SizeDist fixed = SizeDist::fixed(1000);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) CHECK(fixed.sample(rng) == 1000);
+  CHECK_NEAR(fixed.mean_bytes(), 1000.0, 1e-9);
+
+  // Byte-weighted CDF: monotone, 0 at tiny sizes, 1 at the max.
+  const SizeDist& g = SizeDist::by_name("google");
+  double prev = 0;
+  for (double b = 100; b <= 40e6; b *= 2) {
+    const double c = g.byte_weighted_cdf(static_cast<std::uint64_t>(b));
+    CHECK(c >= prev - 1e-12);
+    CHECK(c >= 0.0 && c <= 1.0);
+    prev = c;
+  }
+  CHECK(g.byte_weighted_cdf(64) < 0.01);
+  CHECK_NEAR(g.byte_weighted_cdf(40'000'000), 1.0, 1e-9);
+
+  // Fig. 4 ordering: at 100 KB Google has accumulated the largest share of
+  // its bytes, WebSearch the smallest.
+  const double at100k_google = g.byte_weighted_cdf(100'000);
+  const double at100k_fb = SizeDist::by_name("fb_hadoop").byte_weighted_cdf(100'000);
+  const double at100k_ws = SizeDist::by_name("websearch").byte_weighted_cdf(100'000);
+  CHECK(at100k_google > at100k_fb);
+  CHECK(at100k_fb > at100k_ws);
+  return 0;
+}

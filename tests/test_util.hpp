@@ -1,0 +1,24 @@
+// Minimal check macros for the dependency-free unit tests.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CHECK(cond)                                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "%s:%d: CHECK failed: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                    \
+      std::exit(1);                                                     \
+    }                                                                   \
+  } while (0)
+
+#define CHECK_NEAR(a, b, tol)                                           \
+  do {                                                                  \
+    const double va = (a), vb = (b);                                    \
+    if (!(va > vb - (tol) && va < vb + (tol))) {                        \
+      std::fprintf(stderr, "%s:%d: CHECK_NEAR failed: %s=%g vs %s=%g\n",\
+                   __FILE__, __LINE__, #a, va, #b, vb);                 \
+      std::exit(1);                                                     \
+    }                                                                   \
+  } while (0)

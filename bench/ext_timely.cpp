@@ -28,6 +28,21 @@ int main() {
                 static_cast<unsigned long long>(r.flows_started),
                 static_cast<long long>(r.drops), r.buffer_p99_mb);
   }
+  {
+    // Timely again, with acks contending in the reverse-path data queues:
+    // delay-based CC sees the echoed RTT inflate under reverse congestion.
+    ExperimentConfig cfg = bench::standard_config(Scheme::kTimely, "google",
+                                                  0.60, 0.05, stop);
+    cfg.overrides.acks_in_data = true;
+    results.push_back(run_experiment(topo, cfg));
+    results.back().scheme = "Timely+AckQ";
+    const auto& r = results.back();
+    std::printf("[%s] flows=%llu/%llu drops=%lld p99buf=%.2fMB\n",
+                r.scheme.c_str(),
+                static_cast<unsigned long long>(r.flows_completed),
+                static_cast<unsigned long long>(r.flows_started),
+                static_cast<long long>(r.drops), r.buffer_p99_mb);
+  }
   std::printf("\np99 FCT slowdown by flow size (non-incast traffic):\n");
   print_slowdown_table(paper_size_bins(), results);
   return 0;

@@ -16,7 +16,7 @@ struct FaninResult {
 
 FaninResult run_one(Scheme scheme, int fanin, Time stop) {
   const TopoGraph topo = TopoGraph::fat_tree(FatTreeConfig::t2());
-  Simulator sim;
+  ShardedSimulator sim(topo, 1);
   Network net(sim, topo, scheme);
 
   // 4 long-lived flows to every receiver from 4 random senders.

@@ -12,7 +12,7 @@ namespace {
 
 void run_scheme(Scheme scheme, const TopoGraph& topo, Time stop,
                 std::vector<SizeBin>& intra, std::vector<SizeBin>& inter) {
-  Simulator sim;
+  ShardedSimulator sim(topo, 1);
   NetworkOverrides ov;
   ov.buffer_bytes = 9'000'000;          // paper: 9 MB at 10 Gbps
   ov.gateway_buffer_bytes = 60'000'000; // paper: 60 MB at the gateways

@@ -16,7 +16,7 @@ struct HpqResult {
 
 HpqResult run_one(Scheme scheme, Time stop) {
   const TopoGraph topo = TopoGraph::fat_tree(FatTreeConfig::t2());
-  Simulator sim;
+  ShardedSimulator sim(topo, 1);
   Network net(sim, topo, scheme);
   TrafficConfig tc;
   tc.dist = &SizeDist::by_name("google");

@@ -26,6 +26,13 @@ struct FlowEntry {
   std::int32_t in_port = -1;     // upstream (ingress) the entry is fed from
   bool paused = false;           // we currently pause this VFID upstream
   bool resume_pending = false;   // queued behind the resume limiter
+  bool holds_resume_slot = false;  // counted among the queue's outstanding
+                                   // resumes until its data arrives back
+
+  // Links in the per-physical-queue entry list at `egress` (the Switch
+  // scans it to find resume candidates when the queue drains, §3.5).
+  FlowEntry* q_next = nullptr;
+  FlowEntry* q_prev = nullptr;
 
   FlowEntry* next = nullptr;     // overflow chain
 };

@@ -35,14 +35,20 @@ double path_min_rate_bps(const std::vector<Hop>& path, const TopoGraph& topo) {
 
 }  // namespace
 
-Network::Network(Simulator& sim, const TopoGraph& topo, Scheme scheme,
+Network::Network(ShardedSimulator& sim, const TopoGraph& topo, Scheme scheme,
                  const NetworkOverrides& ov)
     : sim_(sim),
       topo_(topo),
       params_(NetParams::derive(scheme, ov)),
-      overrides_(ov),
-      fault_rng_(ov.fault_seed),
-      mark_rng_(ov.fault_seed ^ 0xECECECEC) {
+      overrides_(ov) {
+  fault_rng_.reserve(static_cast<std::size_t>(topo_.num_nodes()));
+  mark_rng_.reserve(static_cast<std::size_t>(topo_.num_nodes()));
+  for (int node = 0; node < topo_.num_nodes(); ++node) {
+    const auto n = static_cast<std::uint64_t>(node);
+    fault_rng_.emplace_back(mix64((ov.fault_seed << 1) ^ n));
+    mark_rng_.emplace_back(mix64((ov.fault_seed << 1) ^ n ^ 0xECECECECULL));
+  }
+  logs_.resize(static_cast<std::size_t>(sim_.n_shards()));
   devices_.assign(static_cast<std::size_t>(topo_.num_nodes()), nullptr);
   for (int node = 0; node < topo_.num_nodes(); ++node) {
     if (topo_.is_host(node)) {
@@ -77,7 +83,7 @@ std::int64_t Network::default_buffer(int node) const {
                                    kBufferSecPerCapacity);
 }
 
-void Network::start_flow(const FlowKey& key, std::uint64_t bytes,
+Flow* Network::make_flow(const FlowKey& key, std::uint64_t bytes,
                          std::uint64_t uid, bool incast) {
   auto owned = std::make_unique<Flow>();
   Flow* f = owned.get();
@@ -89,23 +95,89 @@ void Network::start_flow(const FlowKey& key, std::uint64_t bytes,
   f->incast = incast;
   f->vfid = vfid_of(key, static_cast<std::uint32_t>(params_.n_vfids));
   f->path = topo_.route(key);
+  if (params_.acks_in_data) {
+    const FlowKey rkey{key.dst, key.src, key.dst_port, key.src_port};
+    f->rpath = topo_.route(rkey);
+    f->rvfid = vfid_of(rkey, static_cast<std::uint32_t>(params_.n_vfids));
+  }
   f->ack_lat = path_one_way(f->path, topo_, kAckWireBytes);
   f->base_rtt = path_one_way(f->path, topo_, kMtuWireBytes) + f->ack_lat;
   const double line = path_min_rate_bps(f->path, topo_);
   const double bdp_pkts = std::max(
       2.0, line * to_sec(f->base_rtt) / (8.0 * kMtuWireBytes));
   cc_init(params_, *f, line, bdp_pkts);
+  // pFabric leans on a tight RTO (loss is its signal); the BFC family is
+  // lossless, so like RoCE NICs it keeps a ms-scale timeout as a last
+  // resort — a tight timer would misread long backpressure pauses as loss
+  // and flood paused queues with go-back-N rewinds.
   f->rto = std::max<Time>(params_.pfabric ? 3 * f->base_rtt
                                           : 4 * f->base_rtt,
-                          params_.pfabric ? microseconds(30)
-                                          : microseconds(100));
-  stats_.on_flow_started(uid, key, f->bytes, sim_.now(), incast);
+                          params_.pfabric
+                              ? microseconds(30)
+                              : (params_.bfc ? milliseconds(1)
+                                             : microseconds(100)));
   flows_.emplace(uid, std::move(owned));
+  return f;
+}
+
+void Network::start_flow(const FlowKey& key, std::uint64_t bytes,
+                         std::uint64_t uid, bool incast) {
+  Flow* f = make_flow(key, bytes, uid, incast);
+  stats_.on_flow_started(uid, key, f->bytes,
+                         sim_.shard_of_node(static_cast<int>(key.src)).now(),
+                         incast);
   static_cast<Nic*>(devices_[key.src])->add_flow(f);
 }
 
-void Network::on_flow_complete(Flow* f) {
-  stats_.on_flow_completed(f->uid, sim_.now());
+void Network::prepare_flow(const FlowKey& key, std::uint64_t bytes,
+                           std::uint64_t uid, bool incast, Time at) {
+  Flow* f = make_flow(key, bytes, uid, incast);
+  stats_.on_flow_started(uid, key, f->bytes, at, incast);
+  Shard& s = sim_.shard_of_node(static_cast<int>(key.src));
+  Event* e = s.make(static_cast<int>(key.src), at);
+  e->fn = &Nic::ev_flow_start;
+  e->obj = devices_[key.src];
+  e->p1 = f;
+  s.post_local(e);
+}
+
+void Network::on_flow_complete(Flow* f, Time now) {
+  logs_[static_cast<std::size_t>(
+            sim_.shard_of(static_cast<int>(f->key.dst)))]
+      .completions.emplace_back(f->uid, now);
+}
+
+FlowStats& Network::flow_stats() {
+  // Fold order (shard id, then per-shard completion order) only affects
+  // the order of map updates, never the records themselves, so the result
+  // is identical for every shard count.
+  for (ShardLog& log : logs_) {
+    for (const auto& [uid, end] : log.completions) {
+      stats_.on_flow_completed(uid, end);
+    }
+    log.completions.clear();
+  }
+  return stats_;
+}
+
+std::int64_t Network::delivered_payload_bytes() const {
+  std::int64_t total = 0;
+  for (const Nic* nic : nic_list_) total += nic->stats().delivered_payload;
+  return total;
+}
+
+void Network::ev_deliver(Event& e) {
+  auto* d = static_cast<Device*>(e.obj);
+  if (d->net().roll_data_loss(d->id())) return;  // wire corruption
+  d->arrive(e.pkt, e.i1);
+}
+
+void Network::ev_snapshot(Event& e) {
+  static_cast<Device*>(e.obj)->on_bfc_snapshot(e.i1, std::move(e.bits));
+}
+
+void Network::ev_pfc(Event& e) {
+  static_cast<Device*>(e.obj)->on_pfc(e.i1, e.i2 != 0);
 }
 
 BfcTotals Network::bfc_totals() const {

@@ -1,8 +1,11 @@
-// The network: topology + devices + flows, wired to a Simulator.
+// The network: topology + devices + flows, wired to the sharded engine.
 //
 // Owns every NIC, switch, and Flow for the length of a run; routes control
-// frames (acks, PFC, BFC snapshots) outside the data queues; and aggregates
-// the counters the harness reports.
+// frames (acks, PFC, BFC snapshots) outside the data queues (unless
+// `acks_in_data` puts acks back in); and aggregates the counters the
+// harness reports. All mutable run state is owned by exactly one shard —
+// per-node RNGs, per-NIC delivery counters, per-shard completion logs — so
+// multi-shard runs need no locks and stay bit-identical to single-shard.
 #pragma once
 
 #include <cstdint>
@@ -17,28 +20,37 @@
 #include "core/params.hpp"
 #include "core/switch.hpp"
 #include "core/topology.hpp"
+#include "engine/sharded_sim.hpp"
 #include "sim/rng.hpp"
-#include "sim/simulator.hpp"
 
 namespace bfc {
 
 class Network {
  public:
-  Network(Simulator& sim, const TopoGraph& topo, Scheme scheme,
+  Network(ShardedSimulator& sim, const TopoGraph& topo, Scheme scheme,
           const NetworkOverrides& ov = {});
   ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  // Starts a flow of `bytes` payload bytes from key.src to key.dst.
+  // Starts a flow of `bytes` payload bytes from key.src to key.dst, right
+  // now. Valid before run_until() starts, or at runtime on a single-shard
+  // engine (the legacy bench path).
   void start_flow(const FlowKey& key, std::uint64_t bytes, std::uint64_t uid,
                   bool incast = false);
 
+  // Trace-driven start (the engine path used by run_experiment): derives
+  // the flow now and activates it at `at` on the sender's shard. Must be
+  // called before run_until().
+  void prepare_flow(const FlowKey& key, std::uint64_t bytes,
+                    std::uint64_t uid, bool incast, Time at);
+
   const std::vector<Switch*>& switches() const { return switch_list_; }
   const std::vector<Nic*>& nics() const { return nic_list_; }
-  FlowStats& flow_stats() { return stats_; }
-  std::int64_t delivered_payload_bytes() const { return delivered_payload_; }
+  // Folds the per-shard completion logs, then returns the record set.
+  FlowStats& flow_stats();
+  std::int64_t delivered_payload_bytes() const;
 
   BfcTotals bfc_totals() const;
   SwitchTotals switch_totals() const;
@@ -56,7 +68,7 @@ class Network {
   PfcFractions pfc_fractions(Time window) const;
 
   // --- internals shared with the devices ---
-  Simulator& sim() { return sim_; }
+  ShardedSimulator& sim() { return sim_; }
   const TopoGraph& topo() const { return topo_; }
   const NetParams& params() const { return params_; }
   Device* device(int node) { return devices_[static_cast<std::size_t>(node)]; }
@@ -64,20 +76,35 @@ class Network {
     auto it = flows_.find(uid);
     return it == flows_.end() ? nullptr : it->second.get();
   }
-  bool roll_data_loss() {
-    return params_.data_loss > 0 && fault_rng_.uniform() < params_.data_loss;
+  // Fault/marking draws are per-node so their consumption order is a
+  // deterministic function of that node's event sequence, not of the
+  // global (shard-count-dependent) interleaving.
+  bool roll_data_loss(int node) {
+    return params_.data_loss > 0 &&
+           fault_rng_[static_cast<std::size_t>(node)].uniform() <
+               params_.data_loss;
   }
-  bool roll_ctrl_loss() {
-    return params_.ctrl_loss > 0 && fault_rng_.uniform() < params_.ctrl_loss;
+  bool roll_ctrl_loss(int node) {
+    return params_.ctrl_loss > 0 &&
+           fault_rng_[static_cast<std::size_t>(node)].uniform() <
+               params_.ctrl_loss;
   }
-  Rng& mark_rng() { return mark_rng_; }
-  void count_delivered(std::int64_t payload) { delivered_payload_ += payload; }
-  void on_flow_complete(Flow* f);
+  Rng& mark_rng(int node) {
+    return mark_rng_[static_cast<std::size_t>(node)];
+  }
+  void on_flow_complete(Flow* f, Time now);
+
+  // Pooled event handlers shared by the devices.
+  static void ev_deliver(Event& e);   // obj=Device, pkt, i1=in_port
+  static void ev_snapshot(Event& e);  // obj=Device, i1=port, bits
+  static void ev_pfc(Event& e);       // obj=Device, i1=port, i2=paused
 
  private:
+  Flow* make_flow(const FlowKey& key, std::uint64_t bytes, std::uint64_t uid,
+                  bool incast);
   std::int64_t default_buffer(int node) const;
 
-  Simulator& sim_;
+  ShardedSimulator& sim_;
   TopoGraph topo_;
   NetParams params_;
   NetworkOverrides overrides_;
@@ -88,9 +115,15 @@ class Network {
   std::vector<Switch*> switch_list_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Flow>> flows_;
   FlowStats stats_;
-  Rng fault_rng_;
-  Rng mark_rng_;
-  std::int64_t delivered_payload_ = 0;
+  std::vector<Rng> fault_rng_;  // per node
+  std::vector<Rng> mark_rng_;   // per node
+  struct alignas(64) ShardLog {
+    std::vector<std::pair<std::uint64_t, Time>> completions;
+  };
+  std::vector<ShardLog> logs_;  // per shard, folded by flow_stats()
 };
+
+inline Device::Device(Network& net, int node)
+    : net_(net), node_(node), shard_(&net.sim().shard_of_node(node)) {}
 
 }  // namespace bfc

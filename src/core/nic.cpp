@@ -5,6 +5,7 @@
 
 #include "core/cc.hpp"
 #include "core/network.hpp"
+#include "engine/sharded_sim.hpp"
 
 namespace bfc {
 
@@ -18,15 +19,19 @@ constexpr std::uint32_t kRepairBatch = 8;
 
 }  // namespace
 
-Nic::Nic(Network& net, int node) : net_(net), node_(node) {
+Nic::Nic(Network& net, int node) : Device(net, node) {
   link_ = net_.topo().ports(node)[0];
 }
 
 void Nic::add_flow(Flow* f) {
-  f->last_progress = net_.sim().now();
+  f->last_progress = shard_->now();
   active_.push_back(f);
   arm_rto(f);
   kick();
+}
+
+void Nic::ev_flow_start(Event& e) {
+  static_cast<Nic*>(e.obj)->add_flow(static_cast<Flow*>(e.p1));
 }
 
 bool Nic::sendable(const Flow* f, Time& gate) const {
@@ -41,7 +46,7 @@ bool Nic::sendable(const Flow* f, Time& gate) const {
                               net_.params().bloom_hashes)) {
     return false;  // woken by the next snapshot, not by time
   }
-  if (f->next_send > net_.sim().now()) {
+  if (f->next_send > shard_->now()) {
     gate = std::min(gate, f->next_send);
     return false;
   }
@@ -50,7 +55,7 @@ bool Nic::sendable(const Flow* f, Time& gate) const {
 
 void Nic::kick() {
   if (busy_ || pfc_paused_ || active_.empty()) return;
-  const Time now = net_.sim().now();
+  const Time now = shard_->now();
   Time gate = std::numeric_limits<Time>::max();
   Flow* chosen = nullptr;
   for (std::size_t k = 0; k < active_.size(); ++k) {
@@ -80,10 +85,11 @@ void Nic::kick() {
     if (gate != std::numeric_limits<Time>::max() &&
         (wake_at_ < 0 || wake_at_ > gate || wake_at_ <= now)) {
       wake_at_ = gate;
-      net_.sim().at(gate, [this, at = gate] {
-        if (wake_at_ == at) wake_at_ = -1;
-        kick();
-      });
+      Event* e = shard_->make(node_, gate);
+      e->fn = &Nic::ev_wake;
+      e->obj = this;
+      e->i0 = gate;
+      shard_->post_local(e);
     }
     return;
   }
@@ -100,11 +106,24 @@ void Nic::kick() {
   send_packet(chosen, seq, retx);
 }
 
+void Nic::ev_wake(Event& e) {
+  auto* nic = static_cast<Nic*>(e.obj);
+  if (nic->wake_at_ == e.i0) nic->wake_at_ = -1;
+  nic->kick();
+}
+
+void Nic::ev_tx_done(Event& e) {
+  auto* nic = static_cast<Nic*>(e.obj);
+  nic->busy_ = false;
+  nic->kick();
+}
+
 void Nic::send_packet(Flow* f, std::uint32_t seq, bool retx) {
-  const Time now = net_.sim().now();
+  const Time now = shard_->now();
   Packet pkt;
   pkt.flow = f;
   pkt.seq = seq;
+  pkt.vfid = f->vfid;
   pkt.wire = f->payload_of(seq) + kHeaderBytes;
   pkt.hop = 1;  // next transmitter: the ToR
   pkt.single = f->total_pkts == 1;
@@ -121,19 +140,33 @@ void Nic::send_packet(Flow* f, std::uint32_t seq, bool retx) {
 
   busy_ = true;
   const Time ser = link_.rate.time_to_send(pkt.wire);
-  net_.sim().after(ser, [this] {
-    busy_ = false;
-    kick();
-  });
-  Device* tor = net_.device(link_.peer);
-  const int tor_port = link_.peer_port;
-  net_.sim().after(ser + link_.delay, [this, tor, tor_port, pkt] {
-    if (net_.roll_data_loss()) return;
-    tor->arrive(pkt, tor_port);
-  });
+  {
+    Event* e = shard_->make(node_, now + ser);
+    e->fn = &Nic::ev_tx_done;
+    e->obj = this;
+    shard_->post_local(e);
+  }
+  Event* e = shard_->make(node_, now + ser + link_.delay);
+  e->fn = &Network::ev_deliver;
+  e->obj = net_.device(link_.peer);
+  e->i1 = link_.peer_port;
+  e->pkt = pkt;
+  shard_->post(e, link_.peer);
 }
 
 void Nic::arrive(const Packet& pkt, int /*in_port*/) {
+  if (pkt.is_ack) {
+    AckInfo ack;
+    ack.uid = pkt.flow->uid;
+    ack.cum = pkt.cum;
+    ack.sack = pkt.seq;
+    ack.nack = pkt.nack;
+    ack.ce = pkt.ce;
+    ack.util = pkt.util;
+    ack.ts = pkt.ts;
+    on_ack(ack);
+    return;
+  }
   receive_data(pkt);
 }
 
@@ -164,23 +197,91 @@ void Nic::receive_data(const Packet& pkt) {
       }
     }
   }
-  if (fresh) net_.count_delivered(f->payload_of(pkt.seq));
+  if (fresh) stats_.delivered_payload += f->payload_of(pkt.seq);
   if (f->rcv_next == f->total_pkts && !f->delivered) {
     f->delivered = true;
-    net_.on_flow_complete(f);
+    net_.on_flow_complete(f, shard_->now());
   }
   ack.cum = f->rcv_next;
+  send_ack(f, ack);
+}
 
-  // Acks ride a contention-free control channel: delivered directly after
-  // the unloaded reverse-path latency.
-  auto* src_nic = static_cast<Nic*>(net_.device(static_cast<int>(f->key.src)));
-  net_.sim().after(f->ack_lat, [src_nic, ack] { src_nic->on_ack(ack); });
+void Nic::send_ack(Flow* f, const AckInfo& ack) {
+  const Time now = shard_->now();
+  if (!net_.params().acks_in_data) {
+    // Acks ride a contention-free control channel: delivered directly
+    // after the unloaded reverse-path latency.
+    Event* e = shard_->make(node_, now + f->ack_lat);
+    e->fn = &Nic::ev_ack;
+    e->obj = net_.device(static_cast<int>(f->key.src));
+    e->ack = ack;
+    shard_->post(e, static_cast<int>(f->key.src));
+    return;
+  }
+  // Reverse-path contention model: the ack is a real 64 B packet queued
+  // through the fabric's data queues (keyed by the reverse-direction
+  // VFID). The host uplink's serialization is paid but not arbitrated —
+  // the interesting contention is at the switches.
+  Packet apk;
+  apk.flow = f;
+  apk.is_ack = true;
+  apk.vfid = f->rvfid;
+  apk.seq = ack.sack;
+  apk.cum = ack.cum;
+  apk.nack = ack.nack;
+  apk.ce = ack.ce;
+  apk.util = ack.util;
+  apk.ts = ack.ts;
+  apk.wire = kAckWireBytes;
+  apk.hop = 1;  // next transmitter: this host's ToR, on the reverse path
+  // Acks on the data path honor backpressure like any other packet: a
+  // PFC-paused uplink or a BFC pause of the reverse VFID holds them here
+  // until the next snapshot/PFC update releases them.
+  if (pfc_paused_ ||
+      (net_.params().bfc && pause_bits_ &&
+       bloom_snapshot_contains(*pause_bits_, apk.vfid,
+                               net_.params().bloom_hashes))) {
+    ack_q_.push_back(apk);
+    return;
+  }
+  transmit_ack(apk);
+}
+
+void Nic::transmit_ack(const Packet& apk) {
+  Event* e = shard_->make(node_, shard_->now() +
+                                     link_.rate.time_to_send(apk.wire) +
+                                     link_.delay);
+  e->fn = &Network::ev_deliver;
+  e->obj = net_.device(link_.peer);
+  e->i1 = link_.peer_port;
+  e->pkt = apk;
+  shard_->post(e, link_.peer);
+}
+
+void Nic::flush_acks() {
+  if (ack_q_.empty() || pfc_paused_) return;
+  const NetParams& p = net_.params();
+  for (std::size_t i = 0; i < ack_q_.size();) {
+    if (p.bfc && pause_bits_ &&
+        bloom_snapshot_contains(*pause_bits_, ack_q_[i].vfid,
+                                p.bloom_hashes)) {
+      ++i;  // this reverse VFID is still paused
+      continue;
+    }
+    const Packet apk = ack_q_[i];
+    ack_q_.erase(ack_q_.begin() + static_cast<std::ptrdiff_t>(i));
+    transmit_ack(apk);
+  }
+}
+
+void Nic::ev_ack(Event& e) {
+  static_cast<Nic*>(e.obj)->on_ack(e.ack);
 }
 
 void Nic::on_ack(const AckInfo& ack) {
   Flow* f = net_.flow(ack.uid);
   if (f == nullptr || f->sender_done) return;
-  const Time now = net_.sim().now();
+  const Time now = shard_->now();
   const NetParams& p = net_.params();
 
   if (p.retx == RetxMode::kIrn || p.pfabric) {
@@ -236,16 +337,39 @@ void Nic::on_ack(const AckInfo& ack) {
 
 void Nic::arm_rto(Flow* f) {
   const int gen = ++f->rto_gen;
-  net_.sim().after(f->rto, [this, f, gen] { fire_rto(f, gen); });
+  Event* e = shard_->make(node_, shard_->now() + f->rto);
+  e->fn = &Nic::ev_rto;
+  e->obj = this;
+  e->p1 = f;
+  e->i1 = gen;
+  shard_->post_local(e);
+}
+
+void Nic::ev_rto(Event& e) {
+  static_cast<Nic*>(e.obj)->fire_rto(static_cast<Flow*>(e.p1), e.i1);
 }
 
 void Nic::fire_rto(Flow* f, int gen) {
   if (gen != f->rto_gen || f->sender_done) return;
-  const Time now = net_.sim().now();
+  const Time now = shard_->now();
+  if (net_.params().bfc && pause_bits_ &&
+      bloom_snapshot_contains(*pause_bits_, f->vfid,
+                              net_.params().bloom_hashes)) {
+    // The fabric is pausing this flow, and a pause is not a loss: hold the
+    // timer (otherwise long paced-resume waits trigger spurious GBN
+    // rewinds that flood the very queue the pause is draining).
+    f->last_progress = now;
+    arm_rto(f);
+    return;
+  }
   if (now - f->last_progress < f->rto) {
     // Progress happened since arming: re-arm relative to it.
-    net_.sim().at(f->last_progress + f->rto,
-                  [this, f, gen] { fire_rto(f, gen); });
+    Event* e = shard_->make(node_, f->last_progress + f->rto);
+    e->fn = &Nic::ev_rto;
+    e->obj = this;
+    e->p1 = f;
+    e->i1 = gen;
+    shard_->post_local(e);
     return;
   }
   ++stats_.rto_fires;
@@ -271,12 +395,16 @@ void Nic::fire_rto(Flow* f, int gen) {
 void Nic::on_bfc_snapshot(int /*egress_port*/,
                           std::shared_ptr<const BloomBits> bits) {
   pause_bits_ = std::move(bits);
+  flush_acks();
   kick();
 }
 
 void Nic::on_pfc(int /*egress_port*/, bool paused) {
   pfc_paused_ = paused;
-  if (!paused) kick();
+  if (!paused) {
+    flush_acks();
+    kick();
+  }
 }
 
 }  // namespace bfc

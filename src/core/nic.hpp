@@ -2,14 +2,19 @@
 // (delivery, acks, GBN/IRN loss recovery). One port, toward the ToR.
 //
 // BFC treats the NIC as the first hop: the ToR's pause snapshots arrive
-// here and gate individual flows; PFC gates the whole uplink.
+// here and gate individual flows; PFC gates the whole uplink. All NIC
+// events run on the NIC's shard; acks either ride the contention-free
+// control channel (default) or, under `acks_in_data`, real reverse-path
+// packets through the fabric queues.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
 #include "core/packet.hpp"
+#include "engine/event.hpp"
 #include "sim/time.hpp"
 
 namespace bfc {
@@ -20,6 +25,7 @@ struct NicStats {
   std::int64_t rto_fires = 0;
   std::int64_t data_retx = 0;
   std::int64_t pkts_sent = 0;
+  std::int64_t delivered_payload = 0;  // fresh payload bytes received here
 };
 
 class Nic : public Device {
@@ -27,7 +33,6 @@ class Nic : public Device {
   Nic(Network& net, int node);
 
   const NicStats& stats() const { return stats_; }
-  int id() const { return node_; }
 
   // Sender side.
   void add_flow(Flow* f);
@@ -39,7 +44,15 @@ class Nic : public Device {
                        std::shared_ptr<const BloomBits> bits) override;
   void on_pfc(int egress_port, bool paused) override;
 
+  // Pooled event handler: activates a prepared flow (obj=Nic, p1=Flow).
+  static void ev_flow_start(Event& e);
+
  private:
+  static void ev_tx_done(Event& e);  // obj=Nic
+  static void ev_wake(Event& e);     // obj=Nic, i0=gate time
+  static void ev_rto(Event& e);      // obj=Nic, p1=Flow, i1=generation
+  static void ev_ack(Event& e);      // obj=Nic, ack payload
+
   void kick();
   void send_packet(Flow* f, std::uint32_t seq, bool retx);
   // Returns true if `f` could send right now; otherwise sets `gate` to the
@@ -49,11 +62,13 @@ class Nic : public Device {
   void arm_rto(Flow* f);
   void fire_rto(Flow* f, int gen);
   void receive_data(const Packet& pkt);
+  void send_ack(Flow* f, const AckInfo& ack);
+  void transmit_ack(const Packet& apk);
+  void flush_acks();
 
-  Network& net_;
-  int node_;
   PortInfo link_;
   std::vector<Flow*> active_;
+  std::deque<Packet> ack_q_;  // acks_in_data: held while pause-gated
   std::size_t rr_ = 0;
   bool busy_ = false;
   bool pfc_paused_ = false;

@@ -1,8 +1,14 @@
 // Runtime flow state, the wire packet, and the device interface.
 //
 // A Flow is owned by the Network for the whole run; packets carry a raw
-// pointer plus a sequence number, so copying a Packet into an event closure
+// pointer plus a sequence number, so copying a Packet into a pooled event
 // is cheap and safe.
+//
+// Sharded-engine field discipline (see docs/ARCHITECTURE.md): a Flow's
+// identity fields are immutable after setup, its sender state is only
+// touched by the source NIC's shard and its receiver state only by the
+// destination NIC's shard — that disjointness is what lets a flow span two
+// shards without locks.
 #pragma once
 
 #include <cstdint>
@@ -27,11 +33,13 @@ struct Flow {
   bool incast = false;
   std::uint32_t vfid = 0;
   std::vector<Hop> path;         // one entry per transmitting device
+  std::vector<Hop> rpath;        // reverse path (acks_in_data only)
+  std::uint32_t rvfid = 0;       // VFID of the reverse direction
   Time base_rtt = 0;             // unloaded round trip
   Time ack_lat = 0;              // receiver -> sender control latency
   Time rto = 0;
 
-  // Sender state.
+  // Sender state (source NIC's shard only).
   double line_bps = 0;           // bottleneck line rate of the path
   double rate_bps = 0;           // pacing rate (congestion control output)
   std::uint32_t win_pkts = 0;    // window cap (packets)
@@ -57,7 +65,7 @@ struct Flow {
   double tm_grad = 0;
   Time hpcc_last_dec = 0;
 
-  // Receiver state.
+  // Receiver state (destination NIC's shard only).
   std::uint32_t rcv_next = 0;
   std::vector<bool> rcvd;        // IRN only
   bool delivered = false;
@@ -77,10 +85,15 @@ struct Flow {
 struct Packet {
   Flow* flow = nullptr;
   std::uint32_t seq = 0;
+  std::uint32_t vfid = 0;        // queueing identity at switches; the
+                                 // forward VFID for data, reverse for acks
   int wire = 0;                  // bytes on the wire (payload + header)
-  int hop = 0;                   // index into flow->path: next transmitter
+  int hop = 0;                   // index into flow->path (rpath for acks)
+  bool is_ack = false;           // ack riding the data path (acks_in_data)
   bool ce = false;               // ECN congestion experienced
   bool single = false;           // single-packet flow (HPQ candidate)
+  bool nack = false;             // ack payload: GBN out-of-order signal
+  std::uint32_t cum = 0;         // ack payload: cumulative ack point
   std::int64_t prio = 0;         // pFabric: remaining bytes at send time
   float util = 0;                // HPCC INT: max link utilization seen
   Time ts = 0;                   // send timestamp (Timely RTT)
@@ -98,10 +111,16 @@ struct AckInfo {
   Time ts = 0;                   // echoed send timestamp
 };
 
-// Anything a link can deliver to: a Switch or a host NIC.
+class Network;
+class Shard;
+
+// Anything a link can deliver to: a Switch or a host NIC. Owns its place
+// in the sharded engine: all of a device's events run on `shard_`.
 class Device {
  public:
+  Device(Network& net, int node);  // defined in network.hpp
   virtual ~Device() = default;
+
   virtual void arrive(const Packet& pkt, int in_port) = 0;
   // BFC pause frame: the peer behind `egress_port` updated its paused-VFID
   // Bloom snapshot.
@@ -109,6 +128,15 @@ class Device {
                                std::shared_ptr<const BloomBits> bits) = 0;
   // PFC: the peer behind `egress_port` paused/resumed the whole link.
   virtual void on_pfc(int egress_port, bool paused) = 0;
+
+  Network& net() { return net_; }
+  int id() const { return node_; }
+  Shard& shard() { return *shard_; }
+
+ protected:
+  Network& net_;
+  const int node_;
+  Shard* const shard_;
 };
 
 }  // namespace bfc

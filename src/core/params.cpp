@@ -61,6 +61,7 @@ NetParams NetParams::derive(Scheme scheme, const NetworkOverrides& ov) {
   if (ov.bloom_bytes) p.bloom_bytes = *ov.bloom_bytes;
   if (ov.retx) p.retx = *ov.retx;
   if (ov.sched) p.sched = *ov.sched;
+  if (ov.acks_in_data) p.acks_in_data = *ov.acks_in_data;
   p.hrtt_scale = ov.hrtt_scale;
   p.data_loss = ov.data_loss_prob;
   p.ctrl_loss = ov.control_loss_prob;

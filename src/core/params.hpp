@@ -21,6 +21,10 @@ struct NetworkOverrides {
   std::optional<int> bloom_bytes;   // pause-frame Bloom snapshot size
   std::optional<RetxMode> retx;
   std::optional<SchedPolicy> sched;
+  // Route acks through the data queues on the reverse path instead of the
+  // contention-free control channel, modelling reverse-path contention
+  // (matters most to delay-based CC like Timely).
+  std::optional<bool> acks_in_data;
   double data_loss_prob = 0;        // per-hop wire corruption of data pkts
   double control_loss_prob = 0;     // corruption of BFC pause frames
   double hrtt_scale = 1.0;          // misestimation of the pause horizon
@@ -58,6 +62,7 @@ struct NetParams {
   int bloom_hashes = 4;
   RetxMode retx = RetxMode::kGoBackN;
   SchedPolicy sched = SchedPolicy::kDrr;
+  bool acks_in_data = false;  // acks contend in data queues (reverse path)
   double hrtt_scale = 1.0;
   double data_loss = 0;
   double ctrl_loss = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/network.hpp"
+#include "engine/sharded_sim.hpp"
 
 namespace bfc {
 
@@ -22,12 +23,15 @@ constexpr double kEcnPmax = 0.2;
 constexpr double kPfabricCapSec = 6e-6;
 // HPCC INT: a hop reports queue occupancy in units of this much line time.
 constexpr double kIntHorizonSec = 8e-6;
+// DRR quantum: one MTU of byte credit per visit. Uniform-MTU traffic
+// degenerates to packet round robin; mixed sizes (e.g. 64 B acks under
+// acks_in_data) now share bytes, not packets.
+constexpr std::int64_t kDrrQuantum = kMtuWireBytes;
 
 }  // namespace
 
 Switch::Switch(Network& net, int node, std::int64_t buffer_cap)
-    : net_(net),
-      node_(node),
+    : Device(net, node),
       buffer_cap_(buffer_cap),
       table_(net.params().n_vfids, 4,
              std::max(64, net.params().n_vfids / 16)) {
@@ -42,8 +46,10 @@ Switch::Switch(Network& net, int node, std::int64_t buffer_cap)
     Egress& eg = egress_[i];
     eg.link = ports[i];
     eg.dq.resize(static_cast<std::size_t>(base_queues));
-    eg.dq_bytes.assign(static_cast<std::size_t>(base_queues), 0);
     eg.dq_flows.assign(static_cast<std::size_t>(base_queues), 0);
+    eg.deficit.assign(static_cast<std::size_t>(base_queues), 0);
+    eg.q_entries.assign(static_cast<std::size_t>(base_queues), nullptr);
+    eg.resume.resize(static_cast<std::size_t>(base_queues));
 
     Ingress& in = ingress_[i];
     const Time hrtt = 2 * ports[i].delay + kTau;
@@ -60,7 +66,10 @@ Switch::Switch(Network& net, int node, std::int64_t buffer_cap)
   }
   pfc_quota_ = buffer_cap_ / static_cast<std::int64_t>(ports.size());
   if (p.bfc) {
-    net_.sim().after(kRefresh, [this] { periodic_refresh(); });
+    Event* e = shard_->make(node_, kRefresh);
+    e->fn = &Switch::ev_refresh;
+    e->obj = this;
+    shard_->post_local(e);
   }
 }
 
@@ -70,14 +79,14 @@ int Switch::num_data_queues() const {
 
 std::int64_t Switch::data_queue_bytes(int port, int q) const {
   const Egress& eg = egress_[static_cast<std::size_t>(port)];
-  if (q < 0 || static_cast<std::size_t>(q) >= eg.dq_bytes.size()) return 0;
-  return eg.dq_bytes[static_cast<std::size_t>(q)];
+  if (q < 0 || static_cast<std::size_t>(q) >= eg.dq.size()) return 0;
+  return eg.dq[static_cast<std::size_t>(q)].bytes();
 }
 
 int Switch::occupied_queues(int port) const {
   const Egress& eg = egress_[static_cast<std::size_t>(port)];
   int n = 0;
-  for (const auto b : eg.dq_bytes) n += (b > 0);
+  for (const PacketFifo& q : eg.dq) n += (q.bytes() > 0);
   return n;
 }
 
@@ -93,7 +102,9 @@ std::int64_t Switch::paused_ns_toward(NodeTier peer_tier, Time now) const {
 void Switch::arrive(const Packet& pkt0, int in_port) {
   const NetParams& p = net_.params();
   Packet pkt = pkt0;
-  const Hop& hop = pkt.flow->path[static_cast<std::size_t>(pkt.hop)];
+  const Hop& hop = (pkt.is_ack ? pkt.flow->rpath
+                               : pkt.flow->path)[static_cast<std::size_t>(
+      pkt.hop)];
   const int eg_port = hop.port;
   Egress& eg = egress_[static_cast<std::size_t>(eg_port)];
 
@@ -108,28 +119,31 @@ void Switch::arrive(const Packet& pkt0, int in_port) {
 void Switch::enqueue(Egress& eg, int eg_port, Packet pkt, int in_port) {
   const NetParams& p = net_.params();
   Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
-  const std::uint32_t vfid = pkt.flow->vfid;
+  const std::uint32_t vfid = pkt.vfid;
 
-  // Feedback stamps happen before the packet is stored.
-  const std::int64_t port_bytes = eg.port_bytes;
-  const double line_bytes = eg.link.rate.bytes_per_sec();
-  if (p.cc == CcKind::kDcqcn) {
-    const double kmin = line_bytes * kEcnKminSec;
-    const double kmax = line_bytes * kEcnKmaxSec;
-    const double b = static_cast<double>(port_bytes);
-    if (b > kmin) {
-      const double prob =
-          b >= kmax ? 1.0 : kEcnPmax * (b - kmin) / (kmax - kmin);
-      if (net_.mark_rng().uniform() < prob) pkt.ce = true;
+  // Feedback stamps happen before the packet is stored. Acks carry the
+  // forward path's echoes — never restamp them with reverse-path state.
+  if (!pkt.is_ack) {
+    const std::int64_t port_bytes = eg.port_bytes;
+    const double line_bytes = eg.link.rate.bytes_per_sec();
+    if (p.cc == CcKind::kDcqcn) {
+      const double kmin = line_bytes * kEcnKminSec;
+      const double kmax = line_bytes * kEcnKmaxSec;
+      const double b = static_cast<double>(port_bytes);
+      if (b > kmin) {
+        const double prob =
+            b >= kmax ? 1.0 : kEcnPmax * (b - kmin) / (kmax - kmin);
+        if (net_.mark_rng(node_).uniform() < prob) pkt.ce = true;
+      }
     }
+    const float u = static_cast<float>(static_cast<double>(port_bytes) /
+                                       (line_bytes * kIntHorizonSec));
+    if (u > pkt.util) pkt.util = u;
   }
-  const float u = static_cast<float>(static_cast<double>(port_bytes) /
-                                     (line_bytes * kIntHorizonSec));
-  if (u > pkt.util) pkt.util = u;
 
   if (p.pfabric) {
-    const auto cap =
-        static_cast<std::int64_t>(line_bytes * kPfabricCapSec);
+    const auto cap = static_cast<std::int64_t>(
+        eg.link.rate.bytes_per_sec() * kPfabricCapSec);
     while (eg.srpt_bytes + pkt.wire > cap && !eg.srpt.empty()) {
       auto worst = std::prev(eg.srpt.end());
       if (worst->first <= pkt.prio) break;  // incoming packet is the worst
@@ -149,8 +163,7 @@ void Switch::enqueue(Egress& eg, int eg_port, Packet pkt, int in_port) {
     eg.srpt.emplace(pkt.prio, pkt);
     eg.srpt_bytes += pkt.wire;
   } else if (p.bfc && p.hpq && pkt.single) {
-    eg.hpq.push_back(pkt);
-    eg.hpq_bytes += pkt.wire;
+    eg.hpq.push(shard_->arena(), pkt);
   } else if (p.bfc || p.sfq) {
     bool created = false;
     FlowEntry* e = table_.acquire(vfid, eg_port, 0, created);
@@ -162,25 +175,29 @@ void Switch::enqueue(Egress& eg, int eg_port, Packet pkt, int in_port) {
       if (created) {
         e->queue = assign_queue(eg, vfid);
         e->in_port = in_port;
+        link_queue_entry(eg, e);
       }
       q = e->queue;
       ++e->pkts;
       pkt.tracked = true;
     }
-    eg.dq[static_cast<std::size_t>(q)].push_back(pkt);
-    eg.dq_bytes[static_cast<std::size_t>(q)] += pkt.wire;
+    eg.dq[static_cast<std::size_t>(q)].push(shard_->arena(), pkt);
     if (p.bfc && e != nullptr && !e->paused &&
-        eg.dq_bytes[static_cast<std::size_t>(q)] > in.horizon_bytes) {
+        eg.dq[static_cast<std::size_t>(q)].bytes() > in.horizon_bytes) {
       e->paused = true;
       // Pin the entry to the ingress whose Bloom filter records the pause,
       // so the eventual resume removes the VFID from the same filter even
       // when colliding flows feed the entry from several ingress ports.
       e->in_port = in_port;
+      ++eg.resume[static_cast<std::size_t>(q)].paused;
       ++bfc_totals_.pauses;
       in.bloom->add(vfid);
       in.snapshot_dirty = true;
       send_snapshot(in_port);
     }
+    // Data arriving for a freshly-resumed flow completes its resume: the
+    // outstanding-resume slot frees and the next pending flow may go.
+    if (p.bfc && e != nullptr) free_resume_slot(eg, e);
   } else if (p.per_flow_fq) {
     const std::uint64_t uid = pkt.flow->uid;
     int q;
@@ -194,17 +211,17 @@ void Switch::enqueue(Egress& eg, int eg_port, Packet pkt, int in_port) {
       } else {
         q = static_cast<int>(eg.dq.size());
         eg.dq.emplace_back();
-        eg.dq_bytes.push_back(0);
         eg.dq_flows.push_back(0);
+        eg.deficit.push_back(0);
+        eg.q_entries.push_back(nullptr);
+        eg.resume.emplace_back();
       }
       eg.flow_q.emplace(uid, q);
       ++assignments_;
     }
-    eg.dq[static_cast<std::size_t>(q)].push_back(pkt);
-    eg.dq_bytes[static_cast<std::size_t>(q)] += pkt.wire;
+    eg.dq[static_cast<std::size_t>(q)].push(shard_->arena(), pkt);
   } else {
-    eg.dq[0].push_back(pkt);
-    eg.dq_bytes[0] += pkt.wire;
+    eg.dq[0].push(shard_->arena(), pkt);
   }
 
   eg.port_bytes += pkt.wire;
@@ -248,21 +265,38 @@ int Switch::assign_queue(Egress& eg, std::uint32_t vfid) {
   return q;
 }
 
+void Switch::link_queue_entry(Egress& eg, FlowEntry* e) {
+  FlowEntry*& head = eg.q_entries[static_cast<std::size_t>(e->queue)];
+  e->q_prev = nullptr;
+  e->q_next = head;
+  if (head != nullptr) head->q_prev = e;
+  head = e;
+}
+
 void Switch::release_queue(Egress& eg, FlowEntry* e) {
-  if (e->queue >= 0) --eg.dq_flows[static_cast<std::size_t>(e->queue)];
+  if (e->queue < 0) return;
+  --eg.dq_flows[static_cast<std::size_t>(e->queue)];
+  if (e->q_prev != nullptr) {
+    e->q_prev->q_next = e->q_next;
+  } else {
+    eg.q_entries[static_cast<std::size_t>(e->queue)] = e->q_next;
+  }
+  if (e->q_next != nullptr) e->q_next->q_prev = e->q_prev;
+  e->q_next = e->q_prev = nullptr;
 }
 
 bool Switch::queue_head_paused(const Egress& eg, int q) const {
   if (!net_.params().bfc || !eg.pause_bits) return false;
   const Packet& head = eg.dq[static_cast<std::size_t>(q)].front();
-  return bloom_snapshot_contains(*eg.pause_bits, head.flow->vfid,
+  return bloom_snapshot_contains(*eg.pause_bits, head.vfid,
                                  net_.params().bloom_hashes);
 }
 
 int Switch::pick_data_queue(Egress& eg) {
   const int n = static_cast<int>(eg.dq.size());
   if (n == 0) return -1;
-  if (net_.params().sched == SchedPolicy::kStrictPriority) {
+  const SchedPolicy sched = net_.params().sched;
+  if (sched == SchedPolicy::kStrictPriority) {
     for (int q = 0; q < n; ++q) {
       if (!eg.dq[static_cast<std::size_t>(q)].empty() &&
           !queue_head_paused(eg, q)) {
@@ -271,16 +305,49 @@ int Switch::pick_data_queue(Egress& eg) {
     }
     return -1;
   }
-  // DRR and plain round robin coincide at (near-)uniform packet sizes; both
-  // take the next non-empty, non-paused queue in cyclic order.
-  for (int k = 0; k < n; ++k) {
-    const int q = (eg.rr + k) % n;
-    if (eg.dq[static_cast<std::size_t>(q)].empty()) continue;
-    if (queue_head_paused(eg, q)) continue;
+  if (sched == SchedPolicy::kRoundRobin) {
+    // One packet per non-empty, non-paused queue in cyclic order.
+    for (int k = 0; k < n; ++k) {
+      const int q = (eg.rr + k) % n;
+      if (eg.dq[static_cast<std::size_t>(q)].empty()) continue;
+      if (queue_head_paused(eg, q)) continue;
+      eg.rr = (q + 1) % n;
+      return q;
+    }
+    return -1;
+  }
+  // Byte-based DRR: a visited eligible queue banks one quantum of credit
+  // when it cannot afford its head packet; while credit covers the head it
+  // keeps the turn (deficit carries across turns). Empty queues forfeit
+  // their credit; paused queues keep it but accrue nothing. The loop is
+  // bounded: any eligible queue is served within two full scans because a
+  // quantum always covers an MTU.
+  for (int visits = 0; visits < 2 * n + 2; ++visits) {
+    const int q = eg.rr;
+    PacketFifo& fifo = eg.dq[static_cast<std::size_t>(q)];
+    if (fifo.empty()) {
+      eg.deficit[static_cast<std::size_t>(q)] = 0;
+      eg.rr = (q + 1) % n;
+      continue;
+    }
+    if (queue_head_paused(eg, q)) {
+      eg.rr = (q + 1) % n;
+      continue;
+    }
+    if (eg.deficit[static_cast<std::size_t>(q)] >= fifo.front().wire) {
+      eg.deficit[static_cast<std::size_t>(q)] -= fifo.front().wire;
+      return q;
+    }
+    eg.deficit[static_cast<std::size_t>(q)] += kDrrQuantum;
     eg.rr = (q + 1) % n;
-    return q;
   }
   return -1;
+}
+
+void Switch::ev_tx_done(Event& e) {
+  auto* sw = static_cast<Switch*>(e.obj);
+  sw->egress_[static_cast<std::size_t>(e.i1)].busy = false;
+  sw->kick(e.i1);
 }
 
 void Switch::kick(int eg_port) {
@@ -291,9 +358,7 @@ void Switch::kick(int eg_port) {
   Packet pkt;
   int from_q = -1;
   if (!eg.hpq.empty()) {
-    pkt = eg.hpq.front();
-    eg.hpq.pop_front();
-    eg.hpq_bytes -= pkt.wire;
+    pkt = eg.hpq.pop(shard_->arena());
   } else if (p.pfabric) {
     if (eg.srpt.empty()) return;
     auto it = eg.srpt.begin();
@@ -303,10 +368,7 @@ void Switch::kick(int eg_port) {
   } else {
     from_q = pick_data_queue(eg);
     if (from_q < 0) return;
-    auto& q = eg.dq[static_cast<std::size_t>(from_q)];
-    pkt = q.front();
-    q.pop_front();
-    eg.dq_bytes[static_cast<std::size_t>(from_q)] -= pkt.wire;
+    pkt = eg.dq[static_cast<std::size_t>(from_q)].pop(shard_->arena());
   }
 
   eg.port_bytes -= pkt.wire;
@@ -316,7 +378,11 @@ void Switch::kick(int eg_port) {
   maybe_pfc(pkt.buf_in);
 
   if (from_q >= 0) {
-    if (pkt.tracked) after_dequeue_bfc(eg, pkt);
+    if (pkt.tracked) {
+      after_dequeue_bfc(eg, pkt);
+    } else {
+      scan_resumes(eg, from_q);  // overflow packets drain queues too
+    }
     if (p.per_flow_fq && eg.dq[static_cast<std::size_t>(from_q)].empty()) {
       eg.flow_q.erase(pkt.flow->uid);
       eg.free_q.push_back(from_q);
@@ -324,88 +390,127 @@ void Switch::kick(int eg_port) {
   }
 
   eg.busy = true;
+  const Time now = shard_->now();
   const Time ser = eg.link.rate.time_to_send(pkt.wire);
-  net_.sim().after(ser, [this, eg_port] {
-    egress_[static_cast<std::size_t>(eg_port)].busy = false;
-    kick(eg_port);
-  });
+  {
+    Event* e = shard_->make(node_, now + ser);
+    e->fn = &Switch::ev_tx_done;
+    e->obj = this;
+    e->i1 = eg_port;
+    shard_->post_local(e);
+  }
   Packet fwd = pkt;
   fwd.hop += 1;
   fwd.tracked = false;
-  Device* peer = net_.device(eg.link.peer);
-  const int peer_port = eg.link.peer_port;
-  net_.sim().after(ser + eg.link.delay, [this, peer, peer_port, fwd] {
-    if (net_.roll_data_loss()) return;  // wire corruption
-    peer->arrive(fwd, peer_port);
-  });
+  Event* e = shard_->make(node_, now + ser + eg.link.delay);
+  e->fn = &Network::ev_deliver;
+  e->obj = net_.device(eg.link.peer);
+  e->i1 = eg.link.peer_port;
+  e->pkt = fwd;
+  shard_->post(e, eg.link.peer);
 }
 
 void Switch::after_dequeue_bfc(Egress& eg, const Packet& pkt) {
-  FlowEntry* e = table_.find(pkt.flow->vfid,
+  FlowEntry* e = table_.find(pkt.vfid,
                              static_cast<int>(&eg - egress_.data()), 0);
   if (e == nullptr) return;
   --e->pkts;
-  const NetParams& p = net_.params();
-  if (p.bfc && e->paused && !e->resume_pending) {
-    const Ingress& in = ingress_[static_cast<std::size_t>(e->in_port)];
-    const std::int64_t qb = eg.dq_bytes[static_cast<std::size_t>(e->queue)];
-    if (e->pkts == 0 || qb <= in.horizon_bytes / 2) {
-      request_resume(e->in_port, e);
-    }
-  }
+  scan_resumes(eg, e->queue);
+  // `e` itself may have been a resume candidate and retired inside
+  // do_resume; the retire check below must not touch a consumed entry.
+  if (!e->in_use) return;
   if (e->pkts == 0 && !e->paused && !e->resume_pending) {
+    free_resume_slot(eg, e);  // retiring before its post-resume data came
     release_queue(eg, e);
     table_.erase(e);
   }
 }
 
-void Switch::request_resume(int in_port, FlowEntry* e) {
-  e->resume_pending = true;
-  Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
-  in.resume_q.push_back(e);
-  pump_resumes(in_port);
+// Section 3.5 resume trigger: a dequeue can clear the way for every
+// paused flow sharing this physical queue, not only the flow whose packet
+// just left — including dequeues of untracked (flow-table overflow)
+// packets, which can be the only traffic left draining the queue. Any
+// paused entry whose queue fell back below its pause horizon becomes a
+// resume candidate; the per-queue limiter then paces the actual resumes,
+// and with it disabled (BFC-BufferOpt) they all fire at once, which is
+// the linear per-queue growth contrast of Fig. 10.
+void Switch::scan_resumes(Egress& eg, int q) {
+  if (!net_.params().bfc) return;
+  if (eg.resume[static_cast<std::size_t>(q)].paused == 0) return;
+  const std::int64_t qb = eg.dq[static_cast<std::size_t>(q)].bytes();
+  resume_scratch_.clear();
+  for (FlowEntry* c = eg.q_entries[static_cast<std::size_t>(q)];
+       c != nullptr; c = c->q_next) {
+    if (!c->paused || c->resume_pending) continue;
+    const Ingress& cin = ingress_[static_cast<std::size_t>(c->in_port)];
+    // The pause belongs to the queue's occupancy, not the flow's own
+    // residue: even a fully-drained flow stays paused while the shared
+    // queue sits above the horizon (when the queue empties, qb is 0 and
+    // this admits everyone, so entries still retire).
+    if (qb < cin.horizon_bytes) resume_scratch_.push_back(c);
+  }
+  // Requests may resume (and erase) entries immediately, so the scan
+  // above is snapshotted before the first request touches the list.
+  for (FlowEntry* c : resume_scratch_) request_resume(eg, c);
 }
 
-void Switch::pump_resumes(int in_port) {
-  Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
+void Switch::request_resume(Egress& eg, FlowEntry* e) {
+  e->resume_pending = true;
+  eg.resume[static_cast<std::size_t>(e->queue)].pending.push_back(e);
+  pump_resumes(static_cast<int>(&eg - egress_.data()), e->queue);
+}
+
+void Switch::pump_resumes(int eg_port, int q) {
+  Egress& eg = egress_[static_cast<std::size_t>(eg_port)];
+  QueueResume& qr = eg.resume[static_cast<std::size_t>(q)];
   const NetParams& p = net_.params();
   if (!p.resume_limit) {
-    while (!in.resume_q.empty()) {
-      FlowEntry* e = in.resume_q.front();
-      in.resume_q.pop_front();
-      do_resume(in_port, e);
+    while (!qr.pending.empty()) {
+      FlowEntry* e = qr.pending.front();
+      qr.pending.pop_front();
+      do_resume(e);
     }
     return;
   }
-  // Two resumes per hop RTT (Section 3.5): caps the post-resume inrush at
-  // ~2 hop-BDPs per queue drain interval.
-  const Time now = net_.sim().now();
-  const double refill = 2.0 * static_cast<double>(now - in.last_refill) /
-                        static_cast<double>(in.hrtt);
-  in.tokens = std::min(2.0, in.tokens + refill);
-  in.last_refill = now;
-  while (!in.resume_q.empty() && in.tokens >= 1.0) {
-    FlowEntry* e = in.resume_q.front();
-    in.resume_q.pop_front();
-    in.tokens -= 1.0;
-    do_resume(in_port, e);
-  }
-  if (!in.resume_q.empty() && !in.refill_scheduled) {
-    in.refill_scheduled = true;
-    const Time wait = static_cast<Time>(
-        (1.0 - in.tokens) * static_cast<double>(in.hrtt) / 2.0);
-    net_.sim().after(wait < 1 ? 1 : wait, [this, in_port] {
-      ingress_[static_cast<std::size_t>(in_port)].refill_scheduled = false;
-      pump_resumes(in_port);
-    });
+  while (!qr.pending.empty() && qr.outstanding < 2) {
+    FlowEntry* e = qr.pending.front();
+    qr.pending.pop_front();
+    // Re-validate at service time: if the resumes ahead of this one
+    // already refilled the queue past the pause threshold, this flow
+    // stays paused (a later dequeue back below the threshold re-requests
+    // it). Without this re-check the limiter merely delays the same
+    // aggregate inrush instead of capping it.
+    if (eg.dq[static_cast<std::size_t>(e->queue)].bytes() >=
+        ingress_[static_cast<std::size_t>(e->in_port)].horizon_bytes) {
+      e->resume_pending = false;
+      continue;
+    }
+    const bool retiring = e->pkts == 0;
+    do_resume(e);  // erases `e` when retiring
+    if (!retiring) {
+      e->holds_resume_slot = true;
+      ++qr.outstanding;
+    }
   }
 }
 
-void Switch::do_resume(int in_port, FlowEntry* e) {
+void Switch::free_resume_slot(Egress& eg, FlowEntry* e) {
+  if (!e->holds_resume_slot) return;
+  e->holds_resume_slot = false;
+  const int q = e->queue;
+  --eg.resume[static_cast<std::size_t>(q)].outstanding;
+  pump_resumes(static_cast<int>(&eg - egress_.data()), q);
+}
+
+void Switch::do_resume(FlowEntry* e) {
+  const int in_port = e->in_port;
   Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
   e->resume_pending = false;
   if (!e->paused) return;
   e->paused = false;
+  --egress_[static_cast<std::size_t>(e->egress)]
+        .resume[static_cast<std::size_t>(e->queue)]
+        .paused;
   ++bfc_totals_.resumes;
   in.bloom->remove(e->vfid);
   in.snapshot_dirty = true;
@@ -420,15 +525,19 @@ void Switch::send_snapshot(int in_port) {
   Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
   // A corrupted frame keeps the dirty bit so the periodic refresh
   // retransmits it — even when the update was "bloom went empty".
-  if (net_.roll_ctrl_loss()) return;
+  if (net_.roll_ctrl_loss(node_)) return;
   in.snapshot_dirty = false;
   const PortInfo& link = egress_[static_cast<std::size_t>(in_port)].link;
-  Device* up = net_.device(link.peer);
-  const int up_port = link.peer_port;
-  auto bits = in.bloom->snapshot();
-  net_.sim().after(link.delay, [up, up_port, bits] {
-    up->on_bfc_snapshot(up_port, bits);
-  });
+  Event* e = shard_->make(node_, shard_->now() + link.delay);
+  e->fn = &Network::ev_snapshot;
+  e->obj = net_.device(link.peer);
+  e->i1 = link.peer_port;
+  e->bits = in.bloom->snapshot();
+  shard_->post(e, link.peer);
+}
+
+void Switch::ev_refresh(Event& e) {
+  static_cast<Switch*>(e.obj)->periodic_refresh();
 }
 
 void Switch::periodic_refresh() {
@@ -438,7 +547,10 @@ void Switch::periodic_refresh() {
       send_snapshot(static_cast<int>(i));
     }
   }
-  net_.sim().after(kRefresh, [this] { periodic_refresh(); });
+  Event* e = shard_->make(node_, shard_->now() + kRefresh);
+  e->fn = &Switch::ev_refresh;
+  e->obj = this;
+  shard_->post_local(e);
 }
 
 void Switch::maybe_pfc(int in_port) {
@@ -452,18 +564,18 @@ void Switch::maybe_pfc(int in_port) {
   if (!in.pfc_sent && in.resident_bytes > hi) {
     in.pfc_sent = true;
     ++totals_.pfc_pauses_sent;
-    Device* up = net_.device(link.peer);
-    const int up_port = link.peer_port;
-    net_.sim().after(link.delay,
-                     [up, up_port] { up->on_pfc(up_port, true); });
   } else if (in.pfc_sent && in.resident_bytes < lo) {
     in.pfc_sent = false;
     ++totals_.pfc_resumes_sent;
-    Device* up = net_.device(link.peer);
-    const int up_port = link.peer_port;
-    net_.sim().after(link.delay,
-                     [up, up_port] { up->on_pfc(up_port, false); });
+  } else {
+    return;
   }
+  Event* e = shard_->make(node_, shard_->now() + link.delay);
+  e->fn = &Network::ev_pfc;
+  e->obj = net_.device(link.peer);
+  e->i1 = link.peer_port;
+  e->i2 = in.pfc_sent ? 1 : 0;
+  shard_->post(e, link.peer);
 }
 
 void Switch::on_bfc_snapshot(int egress_port,
@@ -476,7 +588,7 @@ void Switch::on_bfc_snapshot(int egress_port,
 void Switch::on_pfc(int egress_port, bool paused) {
   Egress& eg = egress_[static_cast<std::size_t>(egress_port)];
   if (eg.peer_pfc_paused == paused) return;
-  const Time now = net_.sim().now();
+  const Time now = shard_->now();
   if (paused) {
     eg.pfc_since = now;
   } else {

@@ -11,6 +11,10 @@
 // The same egress structure also serves the comparison schemes: a single
 // FIFO with ECN marking (DCQCN/HPCC/Timely), static hash FQ (SFQ), dynamic
 // per-flow FQ (Ideal-FQ), and a priority-drop SRPT queue (pFabric).
+//
+// Data queues are intrusive PacketFifos backed by the owning shard's
+// PacketArena, and all scheduling goes through pooled engine events — the
+// per-packet hot path allocates nothing.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +26,8 @@
 
 #include "core/flow_table.hpp"
 #include "core/packet.hpp"
+#include "engine/event.hpp"
+#include "engine/packet_arena.hpp"
 #include "sim/time.hpp"
 
 namespace bfc {
@@ -44,7 +50,6 @@ class Switch : public Device {
  public:
   Switch(Network& net, int node, std::int64_t buffer_cap);
 
-  int id() const { return node_; }
   std::int64_t buffer_used() const { return buffer_used_; }
   int num_data_queues() const;
   std::int64_t data_queue_bytes(int port, int q) const;
@@ -67,13 +72,26 @@ class Switch : public Device {
   void on_pfc(int egress_port, bool paused) override;
 
  private:
+  // Section 3.5 resume limiter, per physical queue: at most 2 resumes
+  // outstanding at a time. A slot is held from the resume until the
+  // resumed flow's data arrives back (or its entry retires), so the
+  // resume rate self-clocks to ~2 per pause-feedback RTT and at most two
+  // line-rate inrushes can ever coincide — which is what caps the queue's
+  // buffering at ~2 hop-BDPs.
+  struct QueueResume {
+    std::deque<FlowEntry*> pending;
+    int outstanding = 0;
+    int paused = 0;  // paused entries on this queue (skips resume scans)
+  };
+
   struct Egress {
     PortInfo link;
-    std::deque<Packet> hpq;
-    std::int64_t hpq_bytes = 0;
-    std::vector<std::deque<Packet>> dq;   // physical data queues
-    std::vector<std::int64_t> dq_bytes;
+    PacketFifo hpq;
+    std::vector<PacketFifo> dq;           // physical data queues
     std::vector<int> dq_flows;            // flow-table entries assigned
+    std::vector<std::int64_t> deficit;    // DRR byte credit per queue
+    std::vector<FlowEntry*> q_entries;    // per-queue entry list heads
+    std::vector<QueueResume> resume;      // per-queue resume limiter
     std::multimap<std::int64_t, Packet> srpt;  // pFabric
     std::int64_t srpt_bytes = 0;
     std::int64_t port_bytes = 0;          // total resident on this egress
@@ -90,10 +108,6 @@ class Switch : public Device {
 
   struct Ingress {
     std::unique_ptr<CountingBloom> bloom;   // paused VFIDs, this ingress
-    std::deque<FlowEntry*> resume_q;        // behind the resume limiter
-    double tokens = 2;
-    Time last_refill = 0;
-    bool refill_scheduled = false;
     std::int64_t horizon_bytes = 0;         // pause threshold for this link
     Time hrtt = 0;                          // pause-feedback round trip
     std::int64_t resident_bytes = 0;        // PFC accounting
@@ -101,22 +115,26 @@ class Switch : public Device {
     bool snapshot_dirty = false;
   };
 
+  static void ev_tx_done(Event& e);         // obj=Switch, i1=egress port
+  static void ev_refresh(Event& e);         // obj=Switch
+
   void enqueue(Egress& eg, int eg_port, Packet pkt, int in_port);
   void kick(int eg_port);
   int pick_data_queue(Egress& eg);
   bool queue_head_paused(const Egress& eg, int q) const;
   int assign_queue(Egress& eg, std::uint32_t vfid);
+  void link_queue_entry(Egress& eg, FlowEntry* e);
   void release_queue(Egress& eg, FlowEntry* e);
   void after_dequeue_bfc(Egress& eg, const Packet& pkt);
-  void request_resume(int in_port, FlowEntry* e);
-  void pump_resumes(int in_port);
-  void do_resume(int in_port, FlowEntry* e);
+  void scan_resumes(Egress& eg, int q);
+  void request_resume(Egress& eg, FlowEntry* e);
+  void pump_resumes(int eg_port, int q);
+  void do_resume(FlowEntry* e);
+  void free_resume_slot(Egress& eg, FlowEntry* e);
   void send_snapshot(int in_port);
   void periodic_refresh();
   void maybe_pfc(int in_port);
 
-  Network& net_;
-  int node_;
   std::int64_t buffer_cap_;
   std::int64_t buffer_used_ = 0;
   std::vector<Egress> egress_;
@@ -124,6 +142,7 @@ class Switch : public Device {
   FlowTable table_;
   SwitchTotals totals_;
   BfcTotals bfc_totals_;
+  std::vector<FlowEntry*> resume_scratch_;  // reused scan buffer
   std::int64_t assignments_ = 0;
   std::int64_t collisions_ = 0;
   std::int64_t pfc_quota_ = 0;

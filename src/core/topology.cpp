@@ -20,12 +20,16 @@ void link(std::vector<std::vector<PortInfo>>& ports, int a, int b, Rate rate,
 }
 
 // Appends one fat-tree fabric whose nodes start at the current end of
-// `ports`, labelling every new node with `dc`.
-void build_fabric(const FatTreeConfig& cfg, int dc,
+// `ports`, labelling every new node with `dc`. Partition groups: each ToR
+// with its hosts forms one group (starting at `group_base`), spines get
+// their own groups after the ToRs.
+void build_fabric(const FatTreeConfig& cfg, int dc, int group_base,
                   std::vector<std::vector<PortInfo>>& ports,
                   std::vector<NodeTier>& tier, std::vector<int>& dcs,
+                  std::vector<int>& pods, std::vector<int>& groups,
                   std::vector<int>& hosts, std::vector<int>& tor_of_host,
                   std::vector<std::vector<int>>& tor_uplinks,
+                  std::vector<std::vector<int>>& agg_uplinks,
                   std::vector<int>& tors_out, std::vector<int>& spines_out) {
   const int n_hosts = cfg.n_tors * cfg.hosts_per_tor;
   const int base = static_cast<int>(ports.size());
@@ -36,24 +40,30 @@ void build_fabric(const FatTreeConfig& cfg, int dc,
   ports.resize(end);
   tier.resize(end, NodeTier::kHost);
   dcs.resize(end, dc);
+  pods.resize(end, -1);
+  groups.resize(end, 0);
   tor_of_host.resize(end, -1);
   tor_uplinks.resize(end);
+  agg_uplinks.resize(end);
 
   for (int h = 0; h < n_hosts; ++h) {
     const int host = host0 + h;
     const int tor = tor0 + h / cfg.hosts_per_tor;
     tier[host] = NodeTier::kHost;
     tor_of_host[host] = tor;
+    groups[host] = group_base + h / cfg.hosts_per_tor;
     hosts.push_back(host);
     link(ports, host, tor, cfg.host_rate, cfg.link_delay);
   }
   for (int s = 0; s < cfg.n_spines; ++s) {
     tier[spine0 + s] = NodeTier::kSpine;
+    groups[spine0 + s] = group_base + cfg.n_tors + s;
     spines_out.push_back(spine0 + s);
   }
   for (int tr = 0; tr < cfg.n_tors; ++tr) {
     const int tor = tor0 + tr;
     tier[tor] = NodeTier::kTor;
+    groups[tor] = group_base + tr;
     tors_out.push_back(tor);
     for (int s = 0; s < cfg.n_spines; ++s) {
       tor_uplinks[tor].push_back(static_cast<int>(ports[tor].size()));
@@ -76,11 +86,20 @@ int TopoGraph::port_to(int node, int peer) const {
   return -1;
 }
 
+int TopoGraph::port_to_pod(int core, int pod) const {
+  const auto& pl = ports_[core];
+  for (std::size_t p = 0; p < pl.size(); ++p) {
+    if (pod_[pl[p].peer] == pod) return static_cast<int>(p);
+  }
+  return -1;
+}
+
 TopoGraph TopoGraph::fat_tree(const FatTreeConfig& cfg) {
   TopoGraph t;
   std::vector<int> tors, spines;
-  build_fabric(cfg, 0, t.ports_, t.tier_, t.dc_, t.hosts_, t.tor_of_host_,
-               t.tor_uplinks_, tors, spines);
+  build_fabric(cfg, 0, 0, t.ports_, t.tier_, t.dc_, t.pod_, t.group_,
+               t.hosts_, t.tor_of_host_, t.tor_uplinks_, t.agg_uplinks_,
+               tors, spines);
   t.host_rate_ = cfg.host_rate;
   t.hosts_per_tor_ = cfg.hosts_per_tor;
   return t;
@@ -89,10 +108,13 @@ TopoGraph TopoGraph::fat_tree(const FatTreeConfig& cfg) {
 TopoGraph TopoGraph::cross_dc(const CrossDcConfig& cfg) {
   TopoGraph t;
   std::vector<std::vector<int>> spines_by_dc(2);
+  int group_base = 0;
   for (int dc = 0; dc < 2; ++dc) {
     std::vector<int> tors;
-    build_fabric(cfg.dc, dc, t.ports_, t.tier_, t.dc_, t.hosts_,
-                 t.tor_of_host_, t.tor_uplinks_, tors, spines_by_dc[dc]);
+    build_fabric(cfg.dc, dc, group_base, t.ports_, t.tier_, t.dc_, t.pod_,
+                 t.group_, t.hosts_, t.tor_of_host_, t.tor_uplinks_,
+                 t.agg_uplinks_, tors, spines_by_dc[dc]);
+    group_base += cfg.dc.n_tors + cfg.dc.n_spines;
   }
   // One gateway per DC, attached to every spine of its fabric with fat
   // links (the gateway aggregates toward the long-haul hop).
@@ -101,8 +123,11 @@ TopoGraph TopoGraph::cross_dc(const CrossDcConfig& cfg) {
     t.ports_.emplace_back();
     t.tier_.push_back(NodeTier::kGateway);
     t.dc_.push_back(dc);
+    t.pod_.push_back(-1);
+    t.group_.push_back(group_base + dc);
     t.tor_of_host_.push_back(-1);
     t.tor_uplinks_.emplace_back();
+    t.agg_uplinks_.emplace_back();
     t.gateway_of_dc_.push_back(gw);
     for (int spine : spines_by_dc[dc]) {
       link(t.ports_, spine, gw, cfg.inter_rate, cfg.dc.link_delay);
@@ -115,6 +140,81 @@ TopoGraph TopoGraph::cross_dc(const CrossDcConfig& cfg) {
   return t;
 }
 
+TopoGraph TopoGraph::three_tier(const ThreeTierConfig& cfg) {
+  TopoGraph t;
+  t.three_tier_ = true;
+  const int per_pod =
+      cfg.edges_per_pod * cfg.hosts_per_edge + cfg.edges_per_pod +
+      cfg.aggs_per_pod;
+  const int core0 = cfg.n_pods * per_pod;
+  const int n_core = cfg.aggs_per_pod * cfg.cores_per_agg;
+  const int end = core0 + n_core;
+  t.ports_.resize(end);
+  t.tier_.assign(end, NodeTier::kHost);
+  t.dc_.assign(end, 0);
+  t.pod_.assign(end, -1);
+  t.group_.assign(end, 0);
+  t.tor_of_host_.assign(end, -1);
+  t.tor_uplinks_.resize(end);
+  t.agg_uplinks_.resize(end);
+
+  for (int c = 0; c < n_core; ++c) {
+    t.tier_[core0 + c] = NodeTier::kCore;
+    t.group_[core0 + c] = cfg.n_pods + c;
+  }
+  for (int p = 0; p < cfg.n_pods; ++p) {
+    const int base = p * per_pod;
+    const int edge0 = base + cfg.edges_per_pod * cfg.hosts_per_edge;
+    const int agg0 = edge0 + cfg.edges_per_pod;
+    for (int e = 0; e < cfg.edges_per_pod; ++e) {
+      const int edge = edge0 + e;
+      t.tier_[edge] = NodeTier::kTor;
+      t.pod_[edge] = p;
+      t.group_[edge] = p;
+      for (int h = 0; h < cfg.hosts_per_edge; ++h) {
+        const int host = base + e * cfg.hosts_per_edge + h;
+        t.pod_[host] = p;
+        t.group_[host] = p;
+        t.tor_of_host_[host] = edge;
+        t.hosts_.push_back(host);
+        link(t.ports_, host, edge, cfg.host_rate, cfg.link_delay);
+      }
+    }
+    for (int a = 0; a < cfg.aggs_per_pod; ++a) {
+      const int agg = agg0 + a;
+      t.tier_[agg] = NodeTier::kAgg;
+      t.pod_[agg] = p;
+      t.group_[agg] = p;
+      for (int e = 0; e < cfg.edges_per_pod; ++e) {
+        const int edge = edge0 + e;
+        t.tor_uplinks_[edge].push_back(
+            static_cast<int>(t.ports_[edge].size()));
+        link(t.ports_, edge, agg, cfg.fabric_rate, cfg.link_delay);
+      }
+      // Plane wiring: agg `a` of every pod shares the same core slice, so
+      // any core reaches any pod in exactly one hop down.
+      for (int g = 0; g < cfg.cores_per_agg; ++g) {
+        const int core = core0 + a * cfg.cores_per_agg + g;
+        t.agg_uplinks_[agg].push_back(
+            static_cast<int>(t.ports_[agg].size()));
+        link(t.ports_, agg, core, cfg.fabric_rate, cfg.link_delay);
+      }
+    }
+  }
+  t.host_rate_ = cfg.host_rate;
+  t.hosts_per_tor_ = cfg.hosts_per_edge;
+  return t;
+}
+
+std::vector<int> TopoGraph::partition(int n_shards) const {
+  const int S = n_shards < 1 ? 1 : n_shards;
+  std::vector<int> shard(static_cast<std::size_t>(num_nodes()), 0);
+  for (int node = 0; node < num_nodes(); ++node) {
+    shard[static_cast<std::size_t>(node)] = group_[node] % S;
+  }
+  return shard;
+}
+
 std::vector<Hop> TopoGraph::route(const FlowKey& key) const {
   const int src = static_cast<int>(key.src);
   const int dst = static_cast<int>(key.dst);
@@ -124,6 +224,30 @@ std::vector<Hop> TopoGraph::route(const FlowKey& key) const {
   const int dst_tor = tor_of_host_[dst];
   if (src_tor == dst_tor) {
     path.push_back({src_tor, port_to(src_tor, dst)});
+    return path;
+  }
+  if (three_tier_) {
+    // Up via an ECMP agg of the source pod; same-pod flows turn around
+    // there, inter-pod flows continue through an ECMP core of that agg's
+    // plane and down the (unique) matching agg of the destination pod.
+    const int up = tor_uplinks_[src_tor][static_cast<std::size_t>(
+        ecmp(key, static_cast<int>(tor_uplinks_[src_tor].size()), 3))];
+    const int agg = ports_[src_tor][static_cast<std::size_t>(up)].peer;
+    path.push_back({src_tor, up});
+    if (pod_[src] == pod_[dst]) {
+      path.push_back({agg, port_to(agg, dst_tor)});
+      path.push_back({dst_tor, port_to(dst_tor, dst)});
+      return path;
+    }
+    const int cup = agg_uplinks_[agg][static_cast<std::size_t>(
+        ecmp(key, static_cast<int>(agg_uplinks_[agg].size()), 7))];
+    const int core = ports_[agg][static_cast<std::size_t>(cup)].peer;
+    const int down = port_to_pod(core, pod_[dst]);
+    const int agg2 = ports_[core][static_cast<std::size_t>(down)].peer;
+    path.push_back({agg, cup});
+    path.push_back({core, down});
+    path.push_back({agg2, port_to(agg2, dst_tor)});
+    path.push_back({dst_tor, port_to(dst_tor, dst)});
     return path;
   }
   if (dc_[src] != dc_[dst]) {

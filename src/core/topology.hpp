@@ -1,5 +1,6 @@
 // Topologies the paper evaluates on: two-tier fat trees (T1 full-bisection,
-// T2 2:1 oversubscribed) and the two-datacenter composition of Fig. 9.
+// T2 2:1 oversubscribed), the two-datacenter composition of Fig. 9, and
+// three-tier (edge/agg/core) fat trees for >1k-host scale runs.
 //
 // Nodes are dense integer ids; hosts come first, then ToRs, spines, and
 // gateways. Every node owns an ordered port list; `PortInfo::peer_port` is
@@ -49,6 +50,37 @@ struct FatTreeConfig {
   }
 };
 
+// Three-tier fat tree: pods of edge switches (hosts attach here) and
+// aggregation switches, joined by a core layer. Agg switch `a` of every
+// pod uplinks to cores [a*cores_per_agg, (a+1)*cores_per_agg): each core
+// touches every pod exactly once, through the same agg "plane".
+struct ThreeTierConfig {
+  int n_pods = 8;
+  int edges_per_pod = 8;
+  int hosts_per_edge = 16;
+  int aggs_per_pod = 8;
+  int cores_per_agg = 8;  // total cores = aggs_per_pod * cores_per_agg
+  Rate host_rate = Rate::gbps(100);
+  Rate fabric_rate = Rate::gbps(100);
+  Time link_delay = microseconds(1);
+
+  int num_hosts() const { return n_pods * edges_per_pod * hosts_per_edge; }
+
+  // The 1024-host scale preset: 8 pods x 8 edges x 16 hosts, 64 cores.
+  static ThreeTierConfig t3_1024() { return ThreeTierConfig{}; }
+
+  // A small instance for unit tests: 32 hosts over 4 pods, 4 cores.
+  static ThreeTierConfig t3_small() {
+    ThreeTierConfig c;
+    c.n_pods = 4;
+    c.edges_per_pod = 2;
+    c.hosts_per_edge = 4;
+    c.aggs_per_pod = 2;
+    c.cores_per_agg = 2;
+    return c;
+  }
+};
+
 struct CrossDcConfig {
   FatTreeConfig dc;          // each datacenter's fabric
   Rate inter_rate = Rate::gbps(100);
@@ -66,7 +98,16 @@ struct CrossDcConfig {
   }
 };
 
-enum class NodeTier { kHost = 0, kTor = 1, kSpine = 2, kGateway = 3 };
+// kTor doubles as the edge tier of a three-tier fabric (hosts attach to
+// it either way); kAgg/kCore only appear in three-tier topologies.
+enum class NodeTier {
+  kHost = 0,
+  kTor = 1,
+  kSpine = 2,
+  kGateway = 3,
+  kAgg = 4,
+  kCore = 5,
+};
 
 struct Hop {
   int node = -1;  // node that forwards
@@ -77,6 +118,7 @@ class TopoGraph {
  public:
   static TopoGraph fat_tree(const FatTreeConfig& cfg);
   static TopoGraph cross_dc(const CrossDcConfig& cfg);
+  static TopoGraph three_tier(const ThreeTierConfig& cfg);
 
   const std::vector<int>& hosts() const { return hosts_; }
   int num_hosts() const { return static_cast<int>(hosts_.size()); }
@@ -84,6 +126,7 @@ class TopoGraph {
   bool is_host(int node) const { return tier_[node] == NodeTier::kHost; }
   NodeTier tier_of(int node) const { return tier_[node]; }
   int dc_of(int node) const { return dc_[node]; }
+  int pod_of(int node) const { return pod_[node]; }
   const std::vector<PortInfo>& ports(int node) const { return ports_[node]; }
   Rate host_rate() const { return host_rate_; }
 
@@ -91,20 +134,31 @@ class TopoGraph {
   // one Hop per transmitting device, starting at the source NIC.
   std::vector<Hop> route(const FlowKey& key) const;
 
+  // Shard assignment for the parallel engine: every node to one of
+  // `n_shards` workers. Locality groups — a pod (3-tier) or a ToR with
+  // its hosts (2-tier) — never split; fabric-only nodes (spines, cores,
+  // gateways) spread round-robin. Deterministic for a given topology.
+  std::vector<int> partition(int n_shards) const;
+
  private:
   // ECMP uplink choice for `key` among `n` candidates at hop `salt`.
   static int ecmp(const FlowKey& key, int n, std::uint64_t salt);
   int port_to(int node, int peer) const;
+  int port_to_pod(int core, int pod) const;
 
   std::vector<std::vector<PortInfo>> ports_;
   std::vector<NodeTier> tier_;
   std::vector<int> dc_;
+  std::vector<int> pod_;              // 3-tier pod id; -1 elsewhere
+  std::vector<int> group_;            // partition locality group
   std::vector<int> hosts_;
-  std::vector<int> tor_of_host_;      // host id -> ToR node
-  std::vector<std::vector<int>> tor_uplinks_;   // ToR node -> spine ports
+  std::vector<int> tor_of_host_;      // host id -> ToR/edge node
+  std::vector<std::vector<int>> tor_uplinks_;   // ToR/edge -> uplink ports
+  std::vector<std::vector<int>> agg_uplinks_;   // agg -> core ports (3-tier)
   std::vector<int> gateway_of_dc_;    // dc -> gateway node (cross-DC only)
   Rate host_rate_;
   int hosts_per_tor_ = 1;
+  bool three_tier_ = false;
 };
 
 }  // namespace bfc

@@ -1,0 +1,102 @@
+// Pooled, allocation-free simulation events.
+//
+// The legacy sim/ loop heap-allocates a std::function closure per event —
+// the dominant cost of full-scale runs. An engine Event is a fixed-size
+// node recycled through an intrusive free list: a handler function pointer
+// plus inline payload slots wide enough for every per-packet event the
+// fabric schedules (forwarded packet, ack, pause-frame snapshot). Rare
+// cold-path events (traffic replay, samplers, tests) may carry an owned
+// closure instead; an empty std::function never allocates, so hot events
+// pay one branch for the flexibility.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/packet.hpp"
+#include "sim/time.hpp"
+
+namespace bfc {
+
+struct Event;
+using EventFn = void (*)(Event&);
+
+struct Event {
+  Time at = 0;
+  // Deterministic tie-break: (posting entity << 32) | per-entity sequence.
+  // Unlike a global push counter, this key is independent of thread
+  // interleaving, so same-timestamp execution order — and therefore every
+  // stat — is identical for every shard count. See docs/ARCHITECTURE.md.
+  std::uint64_t key = 0;
+  EventFn fn = nullptr;  // null: run `closure` instead
+
+  // Inline payload. A handler reads only the slots its poster set; slots
+  // are deliberately not cleared between uses.
+  void* obj = nullptr;
+  void* p1 = nullptr;
+  std::int64_t i0 = 0;
+  int i1 = 0;
+  int i2 = 0;
+  Packet pkt;
+  AckInfo ack;
+  std::shared_ptr<const BloomBits> bits;
+  std::function<void()> closure;
+
+  Event* next = nullptr;  // pool free list / mailbox chain
+};
+
+// Min-order: earliest timestamp first, key as the deterministic tie-break.
+// (Named like EventQueue's `Later`: it orders the max-heap so the earliest
+// event sits at the front.)
+struct EventLater {
+  bool operator()(const Event* a, const Event* b) const {
+    if (a->at != b->at) return a->at > b->at;
+    return a->key > b->key;
+  }
+};
+
+// Block-allocating free list of Events. alloc/release are O(1) and
+// allocation-free in steady state; blocks are only ever freed when the
+// pool dies, so Event pointers stay valid for the whole run (events may
+// be released into a different shard's pool than they came from).
+class EventPool {
+ public:
+  Event* alloc() {
+    if (free_ == nullptr) grow();
+    Event* e = free_;
+    free_ = e->next;
+    e->next = nullptr;
+    return e;
+  }
+
+  // Returns `e` to the free list, dropping any owning payload so pooled
+  // nodes never pin snapshots or closures between uses.
+  void release(Event* e) {
+    e->fn = nullptr;
+    if (e->bits) e->bits.reset();
+    if (e->closure) e->closure = nullptr;
+    e->next = free_;
+    free_ = e;
+  }
+
+  std::size_t blocks_allocated() const { return blocks_.size(); }
+
+ private:
+  static constexpr int kBlock = 1024;
+
+  void grow() {
+    blocks_.emplace_back(new Event[kBlock]);
+    Event* block = blocks_.back().get();
+    for (int i = 0; i < kBlock; ++i) {
+      block[i].next = free_;
+      free_ = &block[i];
+    }
+  }
+
+  std::vector<std::unique_ptr<Event[]>> blocks_;
+  Event* free_ = nullptr;
+};
+
+}  // namespace bfc

@@ -1,0 +1,98 @@
+// Pooled packet-queue nodes for the switch data path.
+//
+// Switch egress queues used to be std::deque<Packet>: correct, but each
+// deque owns heap chunks and churns them as queues grow and drain. A
+// PacketFifo is an intrusive singly-linked list of arena nodes — push and
+// pop recycle fixed-size nodes from the owning shard's PacketArena, so the
+// per-packet queue work is two pointer writes and no allocator traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/packet.hpp"
+
+namespace bfc {
+
+struct PacketNode {
+  Packet pkt;
+  PacketNode* next = nullptr;
+};
+
+// Block-allocating free list of PacketNodes; same lifetime contract as
+// EventPool (nodes live as long as the arena, O(1) alloc/release).
+class PacketArena {
+ public:
+  PacketNode* alloc() {
+    if (free_ == nullptr) grow();
+    PacketNode* n = free_;
+    free_ = n->next;
+    n->next = nullptr;
+    return n;
+  }
+
+  void release(PacketNode* n) {
+    n->next = free_;
+    free_ = n;
+  }
+
+  std::size_t blocks_allocated() const { return blocks_.size(); }
+
+ private:
+  static constexpr int kBlock = 1024;
+
+  void grow() {
+    blocks_.emplace_back(new PacketNode[kBlock]);
+    PacketNode* block = blocks_.back().get();
+    for (int i = 0; i < kBlock; ++i) {
+      block[i].next = free_;
+      free_ = &block[i];
+    }
+  }
+
+  std::vector<std::unique_ptr<PacketNode[]>> blocks_;
+  PacketNode* free_ = nullptr;
+};
+
+// FIFO of arena nodes, tracking the byte and packet counts the switch
+// model needs (pause horizons, buffer accounting, occupancy telemetry).
+class PacketFifo {
+ public:
+  bool empty() const { return head_ == nullptr; }
+  int size() const { return n_; }
+  std::int64_t bytes() const { return bytes_; }
+  const Packet& front() const { return head_->pkt; }
+
+  void push(PacketArena& arena, const Packet& p) {
+    PacketNode* n = arena.alloc();
+    n->pkt = p;
+    if (tail_ != nullptr) {
+      tail_->next = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+    bytes_ += p.wire;
+    ++n_;
+  }
+
+  Packet pop(PacketArena& arena) {
+    PacketNode* n = head_;
+    head_ = n->next;
+    if (head_ == nullptr) tail_ = nullptr;
+    const Packet p = n->pkt;
+    bytes_ -= p.wire;
+    --n_;
+    arena.release(n);
+    return p;
+  }
+
+ private:
+  PacketNode* head_ = nullptr;
+  PacketNode* tail_ = nullptr;
+  std::int64_t bytes_ = 0;
+  int n_ = 0;
+};
+
+}  // namespace bfc

@@ -1,0 +1,218 @@
+#include "engine/sharded_sim.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <thread>
+
+namespace bfc {
+
+namespace {
+
+constexpr Time kTimeInf = std::numeric_limits<Time>::max();
+
+}  // namespace
+
+Event* Shard::make(int src_entity, Time at) {
+  Event* e = pool_.alloc();
+  e->at = at < now_ ? now_ : at;
+  e->key = (static_cast<std::uint64_t>(src_entity) << 32) |
+           engine_->seq_[static_cast<std::size_t>(src_entity)]++;
+  return e;
+}
+
+void Shard::post(Event* e, int dst_node) {
+  const int dst = engine_->shard_of(dst_node);
+  if (dst == idx_) {
+    push_heap_event(e);
+    return;
+  }
+  if (e->at < now_ + engine_->lookahead_) {
+    engine_->lookahead_violation(e, idx_, dst);
+  }
+  ShardedSimulator::Mailbox& m =
+      engine_->mbox_[static_cast<std::size_t>(idx_ * engine_->n_shards() +
+                                              dst)];
+  if (m.tail != nullptr) {
+    m.tail->next = e;
+  } else {
+    m.head = e;
+  }
+  m.tail = e;
+}
+
+void Shard::post_closure(Time at, std::function<void()> fn) {
+  Event* e = make(engine_->n_nodes_ + idx_, at);
+  e->closure = std::move(fn);
+  post_local(e);
+}
+
+void Shard::push_heap_event(Event* e) {
+  heap_.push_back(HeapItem{e->at, e->key, e});
+  std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+}
+
+void Shard::run_window(Time wend, Time stop) {
+  while (!heap_.empty()) {
+    const Time at = heap_.front().at;
+    if (at >= wend || at > stop) break;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    Event* e = heap_.back().e;
+    heap_.pop_back();
+    now_ = at;
+    ++events_run_;
+    if (e->fn != nullptr) {
+      e->fn(*e);
+    } else if (e->closure) {
+      e->closure();
+    }
+    pool_.release(e);
+  }
+}
+
+ShardedSimulator::ShardedSimulator(const TopoGraph& topo, int n_shards) {
+  int S = n_shards < 1 ? 1 : n_shards;
+  if (S > topo.num_nodes()) S = topo.num_nodes();
+  n_nodes_ = topo.num_nodes();
+  shard_of_ = topo.partition(S);
+  seq_.assign(static_cast<std::size_t>(n_nodes_ + S), 0);
+  mbox_.resize(static_cast<std::size_t>(S) * static_cast<std::size_t>(S));
+  next_time_.assign(static_cast<std::size_t>(S), 0);
+  for (int s = 0; s < S; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->engine_ = this;
+    shards_.back()->idx_ = s;
+  }
+  // Lookahead: the tightest latency any cross-shard interaction can have.
+  // Every such interaction — a forwarded packet, a pause frame, an ack
+  // shortcut — traverses at least one physical link that crosses the
+  // partition, so the minimum cross-shard link delay is a safe bound.
+  lookahead_ = kTimeInf;
+  for (int node = 0; node < n_nodes_; ++node) {
+    for (const PortInfo& port : topo.ports(node)) {
+      if (shard_of(node) != shard_of(port.peer) && port.delay < lookahead_) {
+        lookahead_ = port.delay;
+      }
+    }
+  }
+  if (lookahead_ == kTimeInf) lookahead_ = milliseconds(1);  // no cross links
+  if (S > 1 && lookahead_ <= 0) {
+    std::fprintf(stderr,
+                 "ShardedSimulator: zero-delay link crosses shards; cannot "
+                 "derive a lookahead window\n");
+    std::abort();
+  }
+}
+
+void ShardedSimulator::at(Time t, std::function<void()> fn) {
+  if (n_shards() != 1) {
+    std::fprintf(stderr,
+                 "ShardedSimulator::at: global closure API requires a "
+                 "single-shard engine (have %d shards)\n",
+                 n_shards());
+    std::abort();
+  }
+  shards_[0]->post_closure(t, std::move(fn));
+}
+
+void ShardedSimulator::after(Time delay, std::function<void()> fn) {
+  at(now() + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+void ShardedSimulator::barrier_wait() {
+  const std::uint64_t gen = barrier_gen_.load(std::memory_order_acquire);
+  if (barrier_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+      n_shards()) {
+    barrier_arrived_.store(0, std::memory_order_relaxed);
+    barrier_gen_.store(gen + 1, std::memory_order_release);
+    return;
+  }
+  // Spin briefly for the common fast-arrival case, then yield: on
+  // oversubscribed machines (fewer cores than shards) a long spin just
+  // burns the quantum the straggler needs.
+  int spins = 0;
+  while (barrier_gen_.load(std::memory_order_acquire) == gen) {
+    if (++spins > 128) std::this_thread::yield();
+  }
+}
+
+void ShardedSimulator::drain_mailboxes(int s) {
+  const int S = n_shards();
+  Shard& sh = *shards_[static_cast<std::size_t>(s)];
+  for (int src = 0; src < S; ++src) {
+    Mailbox& m = mbox_[static_cast<std::size_t>(src * S + s)];
+    Event* e = m.head;
+    m.head = m.tail = nullptr;
+    while (e != nullptr) {
+      Event* nxt = e->next;
+      e->next = nullptr;
+      sh.push_heap_event(e);
+      e = nxt;
+    }
+  }
+}
+
+void ShardedSimulator::worker(int s, Time stop) {
+  Shard& sh = *shards_[static_cast<std::size_t>(s)];
+  const int S = n_shards();
+  for (;;) {
+    drain_mailboxes(s);
+    next_time_[static_cast<std::size_t>(s)] =
+        sh.heap_.empty() ? kTimeInf : sh.heap_.front().at;
+    barrier_wait();
+    // Everyone computes the same minimum from the same snapshot, so the
+    // window choice is part of the deterministic execution.
+    Time gmin = kTimeInf;
+    for (int i = 0; i < S; ++i) {
+      gmin = std::min(gmin, next_time_[static_cast<std::size_t>(i)]);
+    }
+    if (gmin > stop) {
+      sh.now_ = stop;
+      return;
+    }
+    Time wend = gmin + lookahead_;
+    if (wend > stop) wend = stop + 1;  // final window runs events at == stop
+    sh.run_window(wend, stop);
+    barrier_wait();  // window done; mailbox writes now visible to drains
+  }
+}
+
+void ShardedSimulator::run_until(Time stop) {
+  const int S = n_shards();
+  if (S == 1) {
+    Shard& sh = *shards_[0];
+    sh.run_window(stop + 1, stop);
+    if (sh.now_ < stop) sh.now_ = stop;
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(S - 1));
+  for (int s = 1; s < S; ++s) {
+    threads.emplace_back([this, s, stop] { worker(s, stop); });
+  }
+  worker(0, stop);
+  for (std::thread& t : threads) t.join();
+}
+
+std::uint64_t ShardedSimulator::events_processed() const {
+  std::uint64_t n = 0;
+  for (const auto& sh : shards_) n += sh->events_run();
+  return n;
+}
+
+void ShardedSimulator::lookahead_violation(const Event* e, int src_shard,
+                                           int dst_shard) const {
+  std::fprintf(stderr,
+               "ShardedSimulator: cross-shard event (shard %d -> %d) at "
+               "t=%lld violates the lookahead window (now=%lld, "
+               "lookahead=%lld); the partition admits an interaction "
+               "faster than any cross-shard link\n",
+               src_shard, dst_shard, static_cast<long long>(e->at),
+               static_cast<long long>(
+                   shards_[static_cast<std::size_t>(src_shard)]->now()),
+               static_cast<long long>(lookahead_));
+  std::abort();
+}
+
+}  // namespace bfc

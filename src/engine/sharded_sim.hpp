@@ -1,0 +1,151 @@
+// The sharded simulation engine: N shard-local event loops over one
+// partitioned topology, synchronized by conservative lookahead windows.
+//
+// Every node of the topology is owned by exactly one Shard, and all of a
+// node's events execute on its owning shard. Shards only interact through
+// timestamped events whose delay is at least one link propagation — so with
+// lookahead = min propagation delay over links that cross shards, a window
+// of that width can run on every shard in parallel without violating
+// causality (classic conservative PDES). Between windows the shards
+// barrier, exchange mailboxes, and agree on the next window start (the
+// global minimum pending timestamp, so idle stretches are skipped).
+//
+// Determinism: events are ordered by (timestamp, posting-node, per-node
+// sequence). That key depends only on the logical computation, never on
+// thread interleaving, and shards cannot interact within a window — so a
+// run's per-device event order, and therefore every reported stat, is
+// bit-identical for every shard count under the same seed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "engine/event.hpp"
+#include "engine/packet_arena.hpp"
+#include "sim/time.hpp"
+
+namespace bfc {
+
+class ShardedSimulator;
+
+// One worker's event loop: a heap of pooled events plus the packet arena
+// that backs its switches' queues. All methods are only safe from the
+// owning worker thread (or from any thread while the engine is idle, e.g.
+// when pre-seeding events before run_until()).
+class Shard {
+ public:
+  Time now() const { return now_; }
+  int index() const { return idx_; }
+  PacketArena& arena() { return arena_; }
+  std::uint64_t events_run() const { return events_run_; }
+
+  // Fresh pooled event stamped with `src_entity`'s next sequence number,
+  // clamped to the shard clock (the past is not addressable). The posting
+  // device passes its own node id; environment code (samplers, traffic
+  // replay) posts through post_closure() which uses the shard's own
+  // reserved entity.
+  Event* make(int src_entity, Time at);
+
+  // Schedules `e` on the shard owning `dst_node`. A cross-shard post must
+  // land at least one lookahead window ahead of this shard's clock; a
+  // violation would silently break determinism, so it aborts instead.
+  void post(Event* e, int dst_node);
+
+  // Schedules `e` on this shard (the common self/same-shard case).
+  void post_local(Event* e) { push_heap_event(e); }
+
+  // Cold path: closure event on this shard.
+  void post_closure(Time at, std::function<void()> fn);
+
+ private:
+  friend class ShardedSimulator;
+
+  // Heap entries carry the ordering fields by value so sift comparisons
+  // never chase the (cache-cold) Event nodes.
+  struct HeapItem {
+    Time at;
+    std::uint64_t key;
+    Event* e;
+  };
+  struct HeapLater {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.key > b.key;
+    }
+  };
+
+  void push_heap_event(Event* e);
+  // Runs local events with timestamp < wend (and <= stop).
+  void run_window(Time wend, Time stop);
+
+  ShardedSimulator* engine_ = nullptr;
+  int idx_ = 0;
+  Time now_ = 0;
+  std::vector<HeapItem> heap_;
+  EventPool pool_;
+  PacketArena arena_;
+  std::uint64_t events_run_ = 0;
+};
+
+class ShardedSimulator {
+ public:
+  // Partitions `topo` across `n_shards` shards using the topology's
+  // pod/ToR grouping; lookahead is derived from the minimum propagation
+  // delay of any link whose endpoints land on different shards.
+  ShardedSimulator(const TopoGraph& topo, int n_shards);
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  int n_shards() const { return static_cast<int>(shards_.size()); }
+  int shard_of(int node) const {
+    return shard_of_[static_cast<std::size_t>(node)];
+  }
+  Shard& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+  Shard& shard_of_node(int node) { return shard(shard_of(node)); }
+  Time lookahead() const { return lookahead_; }
+
+  // Legacy single-shard convenience API (TrafficGen, samplers, direct
+  // benches). Aborts on a multi-shard engine: closures there must target a
+  // specific shard via Shard::post_closure, before the run starts.
+  Time now() const { return shards_[0]->now(); }
+  void at(Time t, std::function<void()> fn);
+  void after(Time delay, std::function<void()> fn);
+
+  // Runs every event with timestamp <= stop, then advances every shard's
+  // clock to `stop`. Repeated calls continue where the last one stopped.
+  void run_until(Time stop);
+
+  std::uint64_t events_processed() const;
+
+ private:
+  friend class Shard;
+
+  struct Mailbox {
+    Event* head = nullptr;
+    Event* tail = nullptr;
+  };
+
+  void worker(int s, Time stop);
+  void drain_mailboxes(int s);
+  void barrier_wait();
+  [[noreturn]] void lookahead_violation(const Event* e, int src_shard,
+                                        int dst_shard) const;
+
+  std::vector<int> shard_of_;
+  std::vector<std::uint32_t> seq_;  // per entity: nodes, then shard envs
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Mailbox> mbox_;      // index src_shard * S + dst_shard
+  std::vector<Time> next_time_;    // per-shard earliest pending, at barrier
+  Time lookahead_ = 0;
+  int n_nodes_ = 0;
+
+  std::atomic<int> barrier_arrived_{0};
+  std::atomic<std::uint64_t> barrier_gen_{0};
+};
+
+}  // namespace bfc

@@ -1,5 +1,7 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -23,6 +25,26 @@ double bench_scale() {
     return v;
   }();
   return scale;
+}
+
+int default_shards() {
+  static const int shards = [] {
+    const char* env = std::getenv("BFC_SHARDS");
+    if (env == nullptr || *env == '\0') return 1;
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0') {
+      // Same convention as bench_scale: a typo must not silently become a
+      // different experiment.
+      std::fprintf(stderr, "default_shards: BFC_SHARDS='%s' is not an "
+                           "integer\n", env);
+      std::abort();
+    }
+    if (v < 1) return 1;
+    if (v > 256) return 256;
+    return static_cast<int>(v);
+  }();
+  return shards;
 }
 
 std::vector<SizeBin> paper_size_bins() {
@@ -68,22 +90,47 @@ std::vector<double> bin_percentiles(const std::vector<SizeBin>& bins,
 
 ExperimentResult run_experiment(const TopoGraph& topo,
                                 const ExperimentConfig& cfg) {
-  Simulator sim;
+  const int shards = cfg.shards > 0 ? cfg.shards : default_shards();
+  ShardedSimulator sim(topo, shards);
   Network net(sim, topo, cfg.scheme, cfg.overrides);
-  TrafficGen gen(sim, topo, cfg.traffic,
-                 [&net](const FlowKey& key, std::uint64_t bytes,
-                        std::uint64_t uid, bool incast) {
-                   net.start_flow(key, bytes, uid, incast);
-                 });
-  VectorSampler buffers(sim, cfg.buffer_sample_period, 0,
-                        [&net](std::vector<double>& out) {
-                          for (const Switch* sw : net.switches()) {
-                            out.push_back(
-                                static_cast<double>(sw->buffer_used()) / 1e6);
-                          }
-                        });
+  // Flows are pre-derived from the (open-loop) arrival trace and activated
+  // by per-NIC events, so a multi-shard run starts them without any
+  // cross-shard calls.
+  for (const FlowArrival& a : generate_trace(topo, cfg.traffic)) {
+    net.prepare_flow(a.key, a.bytes, a.uid, a.incast, a.at);
+  }
+
+  // Shard-local buffer sampling: each switch's occupancy series is written
+  // only by its owning shard; ticks are pre-seeded so no closure ever
+  // reschedules across shards. The series are reassembled below in the
+  // legacy (tick-major, switch-order) layout, which is also identical for
+  // every shard count.
   const Time horizon = cfg.traffic.stop + cfg.drain;
+  const Time period =
+      cfg.buffer_sample_period < 1 ? 1 : cfg.buffer_sample_period;
+  const auto& sws = net.switches();
+  std::vector<std::vector<double>> series(sws.size());
+  for (int s = 0; s < sim.n_shards(); ++s) {
+    std::vector<std::size_t> mine;
+    for (std::size_t i = 0; i < sws.size(); ++i) {
+      if (sim.shard_of(sws[i]->id()) == s) mine.push_back(i);
+    }
+    if (mine.empty()) continue;
+    for (Time t = 0; t <= horizon; t += period) {
+      sim.shard(s).post_closure(t, [&series, &sws, mine] {
+        for (std::size_t i : mine) {
+          series[i].push_back(
+              static_cast<double>(sws[i]->buffer_used()) / 1e6);
+        }
+      });
+    }
+  }
+
+  const auto wall0 = std::chrono::steady_clock::now();
   sim.run_until(horizon);
+  const double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
 
   net.flow_stats().apply_tags();
   ExperimentResult r;
@@ -91,7 +138,12 @@ ExperimentResult run_experiment(const TopoGraph& topo,
   r.flows_started = net.flow_stats().started();
   r.flows_completed = net.flow_stats().completed();
   r.drops = net.switch_totals().drops;
-  r.buffer_samples_mb = buffers.samples();
+  std::size_t n_ticks = series.empty() ? 0 : series[0].size();
+  for (const auto& sseries : series) n_ticks = std::min(n_ticks, sseries.size());
+  r.buffer_samples_mb.reserve(n_ticks * series.size());
+  for (std::size_t t = 0; t < n_ticks; ++t) {
+    for (const auto& sseries : series) r.buffer_samples_mb.push_back(sseries[t]);
+  }
   r.buffer_p99_mb = percentile(r.buffer_samples_mb, 99);
   const Network::PfcFractions pfc = net.pfc_fractions(horizon);
   r.pfc_frac_tor_to_spine = pfc.tor_to_spine;
@@ -101,6 +153,9 @@ ExperimentResult run_experiment(const TopoGraph& topo,
   fill_slowdowns(net.flow_stats(), net.ideal_fct_fn(), r.bins);
   r.p99_slowdown = bin_percentiles(r.bins, 99);
   r.bfc = net.bfc_totals();
+  r.shards = shards;
+  r.events_processed = sim.events_processed();
+  r.wall_sec = wall_sec;
   return r;
 }
 

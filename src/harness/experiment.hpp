@@ -17,6 +17,10 @@ namespace bfc {
 // duration; CI smoke runs set it to ~0.05.
 double bench_scale();
 
+// Engine shard count for run_experiment when ExperimentConfig::shards is 0:
+// the BFC_SHARDS env var, default 1.
+int default_shards();
+
 // A flow-size histogram bin: holds the FCT slowdowns of completed flows
 // with bytes <= hi_bytes (and above the previous bin's edge).
 struct SizeBin {
@@ -42,6 +46,7 @@ struct ExperimentConfig {
   NetworkOverrides overrides;
   Time drain = milliseconds(2);  // run past traffic.stop for completions
   Time buffer_sample_period = microseconds(10);
+  int shards = 0;  // engine shards; 0 = BFC_SHARDS env (default 1)
 };
 
 struct ExperimentResult {
@@ -57,6 +62,11 @@ struct ExperimentResult {
   std::vector<SizeBin> bins;
   std::vector<double> p99_slowdown;  // per bin
   BfcTotals bfc;
+  // Engine telemetry (fig15_scale): how much work the run was and how
+  // fast the engine chewed through it.
+  int shards = 1;
+  std::uint64_t events_processed = 0;
+  double wall_sec = 0;
 };
 
 ExperimentResult run_experiment(const TopoGraph& topo,

@@ -1,11 +1,15 @@
 // Periodic measurement hooks driven by the simulator clock.
+//
+// These samplers read cross-shard state from closures, so they require a
+// single-shard engine (the ShardedSimulator closure API enforces that);
+// multi-shard runs sample shard-locally inside run_experiment instead.
 #pragma once
 
 #include <functional>
 #include <utility>
 #include <vector>
 
-#include "sim/simulator.hpp"
+#include "engine/sharded_sim.hpp"
 #include "sim/time.hpp"
 
 namespace bfc {
@@ -16,7 +20,7 @@ class VectorSampler {
  public:
   using Fn = std::function<void(std::vector<double>&)>;
 
-  VectorSampler(Simulator& sim, Time period, Time start, Fn fn)
+  VectorSampler(ShardedSimulator& sim, Time period, Time start, Fn fn)
       : sim_(sim), period_(period < 1 ? 1 : period), fn_(std::move(fn)) {
     sim_.at(start, [this] { tick(); });
   }
@@ -32,7 +36,7 @@ class VectorSampler {
     sim_.after(period_, [this] { tick(); });
   }
 
-  Simulator& sim_;
+  ShardedSimulator& sim_;
   Time period_;
   Fn fn_;
   std::vector<double> samples_;
@@ -48,7 +52,7 @@ class UtilizationMeter {
  public:
   using BytesFn = std::function<std::int64_t()>;
 
-  UtilizationMeter(Simulator& sim, Time start, Time stop, BytesFn fn,
+  UtilizationMeter(ShardedSimulator& sim, Time start, Time stop, BytesFn fn,
                    double capacity_bytes_per_sec)
       : fn_(std::move(fn)), capacity_(capacity_bytes_per_sec) {
     start_ = start < stop ? start : stop / 2;

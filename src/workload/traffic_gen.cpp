@@ -2,7 +2,7 @@
 
 namespace bfc {
 
-TrafficGen::TrafficGen(Simulator& sim, const TopoGraph& topo,
+TrafficGen::TrafficGen(ShardedSimulator& sim, const TopoGraph& topo,
                        const TrafficConfig& cfg, StartFn start)
     : sim_(sim),
       topo_(topo),
@@ -110,6 +110,23 @@ void TrafficGen::launch_incast() {
       sim_.at(at, [this] { launch_incast(); });
     }
   }
+}
+
+std::vector<FlowArrival> generate_trace(const TopoGraph& topo,
+                                        const TrafficConfig& cfg) {
+  // Replaying the generator on a scratch single-shard clock reproduces the
+  // exact event-time/RNG interleaving a live run would see, because the
+  // background and incast processes share one Rng whose draw order is the
+  // chronological order of their events.
+  std::vector<FlowArrival> out;
+  ShardedSimulator scratch(topo, 1);
+  TrafficGen gen(scratch, topo, cfg,
+                 [&out, &scratch](const FlowKey& key, std::uint64_t bytes,
+                                  std::uint64_t uid, bool incast) {
+                   out.push_back({scratch.now(), key, bytes, uid, incast});
+                 });
+  scratch.run_until(cfg.stop);
+  return out;
 }
 
 }  // namespace bfc

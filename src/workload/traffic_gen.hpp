@@ -1,14 +1,20 @@
 // Open-loop traffic: Poisson flow arrivals drawn from a size distribution,
 // plus incast bursts — either Poisson at a target load or strictly periodic
 // (Fig. 8's fan-in sweep).
+//
+// Arrivals are open loop — nothing about them depends on network state —
+// so `generate_trace` can replay the generator on a scratch clock before a
+// run and hand the sharded engine a complete arrival schedule to pre-seed,
+// identical to what a live single-shard generator would produce.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "core/topology.hpp"
+#include "engine/sharded_sim.hpp"
 #include "sim/rng.hpp"
-#include "sim/simulator.hpp"
 #include "sim/time.hpp"
 #include "workload/size_dist.hpp"
 
@@ -32,8 +38,8 @@ class TrafficGen {
   using StartFn = std::function<void(const FlowKey&, std::uint64_t bytes,
                                      std::uint64_t uid, bool incast)>;
 
-  TrafficGen(Simulator& sim, const TopoGraph& topo, const TrafficConfig& cfg,
-             StartFn start);
+  TrafficGen(ShardedSimulator& sim, const TopoGraph& topo,
+             const TrafficConfig& cfg, StartFn start);
 
   std::uint64_t next_uid() const { return uid_; }
 
@@ -44,7 +50,7 @@ class TrafficGen {
   void launch_incast();
   int random_host_except(int avoid, int want_dc);
 
-  Simulator& sim_;
+  ShardedSimulator& sim_;
   const TopoGraph& topo_;
   TrafficConfig cfg_;
   StartFn start_;
@@ -53,5 +59,18 @@ class TrafficGen {
   double arrival_mean_sec_ = 0;  // background inter-arrival mean
   double incast_mean_sec_ = 0;   // Poisson incast inter-arrival mean
 };
+
+// One scheduled flow start, as produced by generate_trace().
+struct FlowArrival {
+  Time at = 0;
+  FlowKey key;
+  std::uint64_t bytes = 0;
+  std::uint64_t uid = 0;
+  bool incast = false;
+};
+
+// The full arrival schedule of `cfg` on `topo`, in start order.
+std::vector<FlowArrival> generate_trace(const TopoGraph& topo,
+                                        const TrafficConfig& cfg);
 
 }  // namespace bfc

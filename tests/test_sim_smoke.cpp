@@ -17,7 +17,7 @@ void run_scheme(Scheme scheme) {
   ft.hosts_per_tor = 4;
   ft.n_spines = 2;
   const TopoGraph topo = TopoGraph::fat_tree(ft);
-  Simulator sim;
+  ShardedSimulator sim(topo, 1);
   Network net(sim, topo, scheme);
 
   // A deterministic mix: pairwise flows of assorted sizes.

@@ -1,0 +1,119 @@
+// Three-tier fat-tree construction and routing: link symmetry, pod
+// labelling, and valid host-to-host paths at every locality (same edge,
+// same pod, inter-pod) for both the small and the 1024-host preset.
+#include "core/topology.hpp"
+
+#include "test_util.hpp"
+
+using namespace bfc;
+
+namespace {
+
+// Walks `path` hop by hop: every hop's egress port must point at the next
+// transmitter (or, for the final hop, at the destination host).
+void check_path(const TopoGraph& topo, const std::vector<Hop>& path,
+                int src, int dst) {
+  CHECK(!path.empty());
+  CHECK(path.front().node == src);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const Hop& h = path[i];
+    CHECK(h.port >= 0);
+    CHECK(h.port < static_cast<int>(topo.ports(h.node).size()));
+    const PortInfo& link = topo.ports(h.node)[static_cast<std::size_t>(h.port)];
+    const int expect = i + 1 < path.size() ? path[i + 1].node : dst;
+    CHECK(link.peer == expect);
+    // peer_port indexes the reverse link on the peer.
+    const PortInfo& back =
+        topo.ports(link.peer)[static_cast<std::size_t>(link.peer_port)];
+    CHECK(back.peer == h.node);
+  }
+}
+
+void check_topo(const ThreeTierConfig& cfg) {
+  const TopoGraph topo = TopoGraph::three_tier(cfg);
+  CHECK(topo.num_hosts() == cfg.num_hosts());
+
+  int n_edge = 0, n_agg = 0, n_core = 0;
+  for (int node = 0; node < topo.num_nodes(); ++node) {
+    switch (topo.tier_of(node)) {
+      case NodeTier::kHost:
+        CHECK(topo.ports(node).size() == 1);
+        CHECK(topo.pod_of(node) >= 0);
+        break;
+      case NodeTier::kTor:
+        ++n_edge;
+        CHECK(static_cast<int>(topo.ports(node).size()) ==
+              cfg.hosts_per_edge + cfg.aggs_per_pod);
+        break;
+      case NodeTier::kAgg:
+        ++n_agg;
+        CHECK(static_cast<int>(topo.ports(node).size()) ==
+              cfg.edges_per_pod + cfg.cores_per_agg);
+        break;
+      case NodeTier::kCore:
+        ++n_core;
+        // Each core touches every pod exactly once.
+        CHECK(static_cast<int>(topo.ports(node).size()) == cfg.n_pods);
+        CHECK(topo.pod_of(node) == -1);
+        break;
+      default:
+        CHECK(false);
+    }
+  }
+  CHECK(n_edge == cfg.n_pods * cfg.edges_per_pod);
+  CHECK(n_agg == cfg.n_pods * cfg.aggs_per_pod);
+  CHECK(n_core == cfg.aggs_per_pod * cfg.cores_per_agg);
+
+  const auto& hosts = topo.hosts();
+  auto route_between = [&](int src, int dst, std::uint16_t sport) {
+    FlowKey key{static_cast<std::uint32_t>(src),
+                static_cast<std::uint32_t>(dst), sport, 80};
+    const auto path = topo.route(key);
+    check_path(topo, path, src, dst);
+    return path;
+  };
+
+  // Same edge: host -> edge (2 transmitters).
+  CHECK(route_between(hosts[0], hosts[1], 1000).size() == 2);
+  // Same pod, different edge: host -> edge -> agg -> edge (4).
+  CHECK(route_between(hosts[0], hosts[cfg.hosts_per_edge], 1001).size() == 4);
+  // Inter-pod: host -> edge -> agg -> core -> agg -> edge (6).
+  const int other_pod = cfg.edges_per_pod * cfg.hosts_per_edge;
+  CHECK(route_between(hosts[0], hosts[other_pod], 1002).size() == 6);
+
+  // A spread of ECMP'd pairs all produce valid paths.
+  for (int i = 0; i < 200; ++i) {
+    const int src = hosts[static_cast<std::size_t>(
+        (i * 131) % topo.num_hosts())];
+    const int dst = hosts[static_cast<std::size_t>(
+        (i * 197 + 57) % topo.num_hosts())];
+    if (src == dst) continue;
+    route_between(src, dst, static_cast<std::uint16_t>(2000 + i));
+  }
+
+  // Partition keeps pods whole at any shard count.
+  for (int shards : {1, 2, 3, 4}) {
+    const auto part = topo.partition(shards);
+    for (int node = 0; node < topo.num_nodes(); ++node) {
+      CHECK(part[static_cast<std::size_t>(node)] >= 0);
+      CHECK(part[static_cast<std::size_t>(node)] < shards);
+    }
+    // Same pod => same shard.
+    for (int a = 0; a < topo.num_nodes(); ++a) {
+      for (int b = a + 1; b < topo.num_nodes() && b < a + 40; ++b) {
+        if (topo.pod_of(a) >= 0 && topo.pod_of(a) == topo.pod_of(b)) {
+          CHECK(part[static_cast<std::size_t>(a)] ==
+                part[static_cast<std::size_t>(b)]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  check_topo(ThreeTierConfig::t3_small());
+  check_topo(ThreeTierConfig::t3_1024());
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Machine-readable bench telemetry: BENCH_engine.json.
+//
+// fig15_scale (engine throughput) and micro_structures (data-structure
+// costs) each own one top-level section of the file; a "baseline" section
+// records the oldest measured engine numbers (the PR-2 heap engine) so
+// future PRs can diff events/sec against it. Writers preserve every
+// other object-valued top-level section whatever its name — and never
+// touch an existing baseline — so the file accretes instead of
+// ping-ponging between benches.
+//
+// The file path is $BFC_BENCH_JSON, defaulting to BENCH_engine.json in
+// the working directory (CI and the repo keep it at the repo root).
+//
+// Parsing is deliberately minimal: sections are extracted by balanced
+// braces, which is sound because this writer never emits strings
+// containing braces. Hand-edited files should keep that property.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bfc::bench {
+
+inline std::string bench_json_path() {
+  const char* env = std::getenv("BFC_BENCH_JSON");
+  return env != nullptr && *env != '\0' ? env : "BENCH_engine.json";
+}
+
+inline std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Returns the balanced "{...}" object following `"key":`, or "" when the
+// key is absent.
+inline std::string extract_object(const std::string& text,
+                                  const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t k = text.find(needle);
+  if (k == std::string::npos) return {};
+  const std::size_t open = text.find('{', k + needle.size());
+  if (open == std::string::npos) return {};
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) {
+      return text.substr(open, i - open + 1);
+    }
+  }
+  return {};
+}
+
+// Top-level keys of the root object, in order: tracks brace depth and
+// takes every depth-1 string immediately followed by ':'. Sufficient for
+// this writer's output (top-level values are objects or numbers, and no
+// emitted string contains braces).
+inline std::vector<std::string> top_level_keys(const std::string& text) {
+  std::vector<std::string> keys;
+  int depth = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (c != '"' || depth != 1) continue;
+    const std::size_t end = text.find('"', i + 1);
+    if (end == std::string::npos) break;
+    std::size_t j = end + 1;
+    while (j < text.size() && std::isspace(static_cast<unsigned char>(
+                                  text[j]))) {
+      ++j;
+    }
+    if (j < text.size() && text[j] == ':') {
+      keys.push_back(text.substr(i + 1, end - i - 1));
+    }
+    i = end;
+  }
+  return keys;
+}
+
+// Rewrites the bench JSON file: replaces (or appends) `section` with
+// `body` (a "{...}" object), preserves every other object-valued
+// top-level section whatever its name, and keeps an existing "baseline"
+// (installing `baseline_if_missing` only when there is none and it is
+// non-empty).
+inline void update_bench_json(const std::string& section,
+                              const std::string& body,
+                              const std::string& baseline_if_missing = "") {
+  const std::string path = bench_json_path();
+  const std::string old = slurp(path);
+  std::string baseline = extract_object(old, "baseline");
+  if (baseline.empty()) baseline = baseline_if_missing;
+
+  std::ostringstream out;
+  out << "{\n  \"schema\": 1";
+  if (!baseline.empty()) out << ",\n  \"baseline\": " << baseline;
+  bool wrote_own = false;
+  for (const std::string& name : top_level_keys(old)) {
+    if (name == "schema" || name == "baseline") continue;
+    const std::string kept =
+        name == section ? body : extract_object(old, name);
+    if (kept.empty()) continue;
+    out << ",\n  \"" << name << "\": " << kept;
+    wrote_own = wrote_own || name == section;
+  }
+  if (!wrote_own) out << ",\n  \"" << section << "\": " << body;
+  out << "\n}\n";
+
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+    return;
+  }
+  f << out.str();
+  std::printf("(bench json -> %s)\n", path.c_str());
+}
+
+}  // namespace bfc::bench

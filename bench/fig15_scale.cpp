@@ -1,24 +1,36 @@
 // Fig. 15 (extension): simulation-engine scale. Sweeps topology size
-// (2-tier T1, 3-tier 1024-host) x shard count and reports events/sec, plus
-// a determinism check: every shard count must report byte-identical flow
-// stats at the same seed.
+// (2-tier T1, 3-tier 1024-host) x shard count and reports events/sec,
+// per-shard event counts (partition balance), plus a determinism check:
+// every shard count must report byte-identical flow stats at the same
+// seed. Emits BENCH_engine.json (see bench_json.hpp) so future PRs can
+// diff engine throughput against the recorded baseline.
+#include <sstream>
+
+#include "bench_json.hpp"
 #include "bench_util.hpp"
+#include "engine/timing_wheel.hpp"
 
 using namespace bfc;
 
 namespace {
 
 struct ScaleRow {
+  std::string topo;
+  int shards = 0;
+  bool det = true;
   ExperimentResult exp;
   double events_per_sec = 0;
 };
 
-ScaleRow run_one(const TopoGraph& topo, int shards, Time stop) {
+ScaleRow run_one(const char* name, const TopoGraph& topo, int shards,
+                 Time stop) {
   ExperimentConfig cfg =
       bench::standard_config(Scheme::kBfc, "google", 0.35, 0.02, stop);
   cfg.shards = shards;
   cfg.drain = milliseconds(1);
   ScaleRow row;
+  row.topo = name;
+  row.shards = shards;
   row.exp = run_experiment(topo, cfg);
   row.events_per_sec = row.exp.wall_sec > 0
                            ? static_cast<double>(row.exp.events_processed) /
@@ -35,30 +47,106 @@ bool same_stats(const ExperimentResult& a, const ExperimentResult& b) {
          a.p99_slowdown == b.p99_slowdown;
 }
 
-void sweep(const char* name, const TopoGraph& topo, Time stop) {
+std::string shard_events_str(const ExperimentResult& e) {
+  std::ostringstream ss;
+  ss << "[";
+  for (std::size_t i = 0; i < e.shard_events.size(); ++i) {
+    ss << (i > 0 ? "," : "") << e.shard_events[i];
+  }
+  ss << "]";
+  return ss.str();
+}
+
+void sweep(const char* name, const TopoGraph& topo, Time stop,
+           std::vector<ScaleRow>& all) {
   std::printf("\n[%s] %d hosts, %d nodes, stop=%.0f us\n", name,
               topo.num_hosts(), topo.num_nodes(), to_usec(stop));
-  std::printf("%-8s %14s %12s %12s %14s %6s\n", "shards", "events", "wall(s)",
-              "Mevents/s", "flows done", "det");
-  ScaleRow base;
+  std::printf("%-8s %14s %12s %12s %14s %6s  %s\n", "shards", "events",
+              "wall(s)", "Mevents/s", "flows done", "det",
+              "per-shard events");
+  std::size_t base_idx = 0;
   double single_eps = 0, best_multi_eps = 0;
   for (int shards : {1, 2, 4}) {
-    const ScaleRow row = run_one(topo, shards, stop);
-    const bool det = shards == 1 ? true : same_stats(base.exp, row.exp);
+    all.push_back(run_one(name, topo, shards, stop));
+    ScaleRow& row = all.back();
     if (shards == 1) {
-      base = row;
+      base_idx = all.size() - 1;
       single_eps = row.events_per_sec;
     } else {
+      row.det = same_stats(all[base_idx].exp, row.exp);
       best_multi_eps = std::max(best_multi_eps, row.events_per_sec);
     }
-    std::printf("%-8d %14llu %12.3f %12.2f %14llu %6s\n", shards,
+    std::printf("%-8d %14llu %12.3f %12.2f %14llu %6s  %s\n", shards,
                 static_cast<unsigned long long>(row.exp.events_processed),
                 row.exp.wall_sec, row.events_per_sec / 1e6,
                 static_cast<unsigned long long>(row.exp.flows_completed),
-                det ? "yes" : "NO");
+                row.det ? "yes" : "NO", shard_events_str(row.exp).c_str());
   }
   std::printf("multi-shard speedup over 1 shard: %.2fx\n",
               single_eps > 0 ? best_multi_eps / single_eps : 0);
+}
+
+double eps_of(const std::vector<ScaleRow>& rows, const char* topo,
+              int shards) {
+  for (const ScaleRow& r : rows) {
+    if (r.topo == topo && r.shards == shards) return r.events_per_sec;
+  }
+  return 0;
+}
+
+bool det_of(const std::vector<ScaleRow>& rows, const char* topo) {
+  for (const ScaleRow& r : rows) {
+    if (r.topo == topo && !r.det) return false;
+  }
+  return true;
+}
+
+void write_json(const std::vector<ScaleRow>& rows) {
+  std::ostringstream body;
+  body.precision(6);
+  body << std::fixed;
+  body << "{\n    \"bench\": \"fig15_scale\",\n    \"scale\": "
+       << bench_scale() << ",\n    \"event_bytes\": " << sizeof(Event)
+       << ",\n    \"wheel\": {\"slot_ns\": " << TimingWheel::kSlotNs
+       << ", \"slots\": " << TimingWheel::kSlots
+       << ", \"horizon_ns\": " << TimingWheel::kHorizonNs << "},\n";
+  body << "    \"topos\": {";
+  bool first_topo = true;
+  for (const char* topo : {"t1_128", "t3_1024"}) {
+    body << (first_topo ? "" : ", ") << "\"" << topo
+         << "\": {\"shards1_events_per_sec\": "
+         << static_cast<long long>(eps_of(rows, topo, 1))
+         << ", \"deterministic\": " << (det_of(rows, topo) ? "true" : "false")
+         << "}";
+    first_topo = false;
+  }
+  body << "},\n    \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r = rows[i];
+    body << "      {\"topo\": \"" << r.topo << "\", \"shards\": " << r.shards
+         << ", \"events\": " << r.exp.events_processed
+         << ", \"wall_sec\": " << r.exp.wall_sec
+         << ", \"events_per_sec\": "
+         << static_cast<long long>(r.events_per_sec) << ", \"det\": "
+         << (r.det ? "true" : "false") << ", \"shard_events\": "
+         << shard_events_str(r.exp) << "}" << (i + 1 < rows.size() ? "," : "")
+         << "\n";
+  }
+  body << "    ]\n  }";
+
+  // First ever run on a tree with no recorded baseline: this run becomes
+  // the baseline future PRs diff against.
+  std::ostringstream base;
+  base.precision(6);
+  base << std::fixed;
+  base << "{\"source\": \"self\", \"scale\": " << bench_scale()
+       << ", \"event_bytes\": " << sizeof(Event)
+       << ", \"t1_128_events_per_sec\": "
+       << static_cast<long long>(eps_of(rows, "t1_128", 1))
+       << ", \"t3_1024_events_per_sec\": "
+       << static_cast<long long>(eps_of(rows, "t3_1024", 1)) << "}";
+
+  bench::update_bench_json("engine", body.str(), base.str());
 }
 
 }  // namespace
@@ -72,8 +160,10 @@ int main() {
   // parallel win there. The 3-tier 1024-host fabric is the scale target.
   const Time t1_stop = static_cast<Time>(microseconds(400) * bench_scale());
   const Time t3_stop = static_cast<Time>(microseconds(300) * bench_scale());
-  sweep("T1 2-tier", TopoGraph::fat_tree(FatTreeConfig::t1()), t1_stop);
-  sweep("T3 3-tier", TopoGraph::three_tier(ThreeTierConfig::t3_1024()),
-        t3_stop);
+  std::vector<ScaleRow> rows;
+  sweep("t1_128", TopoGraph::fat_tree(FatTreeConfig::t1()), t1_stop, rows);
+  sweep("t3_1024", TopoGraph::three_tier(ThreeTierConfig::t3_1024()),
+        t3_stop, rows);
+  write_json(rows);
   return 0;
 }

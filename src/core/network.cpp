@@ -137,7 +137,7 @@ void Network::prepare_flow(const FlowKey& key, std::uint64_t bytes,
   Event* e = s.make(static_cast<int>(key.src), at);
   e->fn = &Nic::ev_flow_start;
   e->obj = devices_[key.src];
-  e->p1 = f;
+  e->u.misc = {f, 0, 0};
   s.post_local(e);
 }
 
@@ -169,15 +169,18 @@ std::int64_t Network::delivered_payload_bytes() const {
 void Network::ev_deliver(Event& e) {
   auto* d = static_cast<Device*>(e.obj);
   if (d->net().roll_data_loss(d->id())) return;  // wire corruption
-  d->arrive(e.pkt, e.i1);
+  d->arrive(e.u.pkt.node->pkt, e.u.pkt.in_port);
 }
 
 void Network::ev_snapshot(Event& e) {
-  static_cast<Device*>(e.obj)->on_bfc_snapshot(e.i1, std::move(e.bits));
+  // The snapshot moves out of its side-table slot; the post-handler
+  // recycle scrubs and frees the slot.
+  static_cast<Device*>(e.obj)->on_bfc_snapshot(
+      e.u.cold.port, std::move(e.u.cold.node->bits));
 }
 
 void Network::ev_pfc(Event& e) {
-  static_cast<Device*>(e.obj)->on_pfc(e.i1, e.i2 != 0);
+  static_cast<Device*>(e.obj)->on_pfc(e.u.misc.i1, e.u.misc.i2 != 0);
 }
 
 BfcTotals Network::bfc_totals() const {

@@ -94,10 +94,11 @@ class Network {
   }
   void on_flow_complete(Flow* f, Time now);
 
-  // Pooled event handlers shared by the devices.
-  static void ev_deliver(Event& e);   // obj=Device, pkt, i1=in_port
-  static void ev_snapshot(Event& e);  // obj=Device, i1=port, bits
-  static void ev_pfc(Event& e);       // obj=Device, i1=port, i2=paused
+  // Pooled event handlers shared by the devices (payloads per
+  // engine/event.hpp: arena handles in the cache-line union).
+  static void ev_deliver(Event& e);   // obj=Device, u.pkt={node, in_port}
+  static void ev_snapshot(Event& e);  // obj=Device, u.cold={bits slot, port}
+  static void ev_pfc(Event& e);       // obj=Device, u.misc={-, port, paused}
 
  private:
   Flow* make_flow(const FlowKey& key, std::uint64_t bytes, std::uint64_t uid,

@@ -31,7 +31,7 @@ void Nic::add_flow(Flow* f) {
 }
 
 void Nic::ev_flow_start(Event& e) {
-  static_cast<Nic*>(e.obj)->add_flow(static_cast<Flow*>(e.p1));
+  static_cast<Nic*>(e.obj)->add_flow(static_cast<Flow*>(e.u.misc.p1));
 }
 
 bool Nic::sendable(const Flow* f, Time& gate) const {
@@ -88,7 +88,7 @@ void Nic::kick() {
       Event* e = shard_->make(node_, gate);
       e->fn = &Nic::ev_wake;
       e->obj = this;
-      e->i0 = gate;
+      e->u.timer = {gate};
       shard_->post_local(e);
     }
     return;
@@ -108,7 +108,7 @@ void Nic::kick() {
 
 void Nic::ev_wake(Event& e) {
   auto* nic = static_cast<Nic*>(e.obj);
-  if (nic->wake_at_ == e.i0) nic->wake_at_ = -1;
+  if (nic->wake_at_ == e.u.timer.i0) nic->wake_at_ = -1;
   nic->kick();
 }
 
@@ -149,12 +149,11 @@ void Nic::send_packet(Flow* f, std::uint32_t seq, bool retx) {
   Event* e = shard_->make(node_, now + ser + link_.delay);
   e->fn = &Network::ev_deliver;
   e->obj = net_.device(link_.peer);
-  e->i1 = link_.peer_port;
-  e->pkt = pkt;
+  e->put_packet(shard_->pack(pkt), link_.peer_port);
   shard_->post(e, link_.peer);
 }
 
-void Nic::arrive(const Packet& pkt, int /*in_port*/) {
+void Nic::arrive(Packet& pkt, int /*in_port*/) {
   if (pkt.is_ack) {
     AckInfo ack;
     ack.uid = pkt.flow->uid;
@@ -214,7 +213,7 @@ void Nic::send_ack(Flow* f, const AckInfo& ack) {
     Event* e = shard_->make(node_, now + f->ack_lat);
     e->fn = &Nic::ev_ack;
     e->obj = net_.device(static_cast<int>(f->key.src));
-    e->ack = ack;
+    e->put_ack(shard_->pack(ack));
     shard_->post(e, static_cast<int>(f->key.src));
     return;
   }
@@ -253,8 +252,7 @@ void Nic::transmit_ack(const Packet& apk) {
                                      link_.delay);
   e->fn = &Network::ev_deliver;
   e->obj = net_.device(link_.peer);
-  e->i1 = link_.peer_port;
-  e->pkt = apk;
+  e->put_packet(shard_->pack(apk), link_.peer_port);
   shard_->post(e, link_.peer);
 }
 
@@ -275,7 +273,7 @@ void Nic::flush_acks() {
 }
 
 void Nic::ev_ack(Event& e) {
-  static_cast<Nic*>(e.obj)->on_ack(e.ack);
+  static_cast<Nic*>(e.obj)->on_ack(e.u.ack.node->ack);
 }
 
 void Nic::on_ack(const AckInfo& ack) {
@@ -340,13 +338,13 @@ void Nic::arm_rto(Flow* f) {
   Event* e = shard_->make(node_, shard_->now() + f->rto);
   e->fn = &Nic::ev_rto;
   e->obj = this;
-  e->p1 = f;
-  e->i1 = gen;
+  e->u.misc = {f, gen, 0};
   shard_->post_local(e);
 }
 
 void Nic::ev_rto(Event& e) {
-  static_cast<Nic*>(e.obj)->fire_rto(static_cast<Flow*>(e.p1), e.i1);
+  static_cast<Nic*>(e.obj)->fire_rto(static_cast<Flow*>(e.u.misc.p1),
+                                     e.u.misc.i1);
 }
 
 void Nic::fire_rto(Flow* f, int gen) {
@@ -367,8 +365,7 @@ void Nic::fire_rto(Flow* f, int gen) {
     Event* e = shard_->make(node_, f->last_progress + f->rto);
     e->fn = &Nic::ev_rto;
     e->obj = this;
-    e->p1 = f;
-    e->i1 = gen;
+    e->u.misc = {f, gen, 0};
     shard_->post_local(e);
     return;
   }

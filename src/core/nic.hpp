@@ -39,19 +39,20 @@ class Nic : public Device {
   void on_ack(const AckInfo& ack);
 
   // Device side (receiver + backpressure).
-  void arrive(const Packet& pkt, int in_port) override;
+  void arrive(Packet& pkt, int in_port) override;
   void on_bfc_snapshot(int egress_port,
                        std::shared_ptr<const BloomBits> bits) override;
   void on_pfc(int egress_port, bool paused) override;
 
-  // Pooled event handler: activates a prepared flow (obj=Nic, p1=Flow).
+  // Pooled event handler: activates a prepared flow (obj=Nic,
+  // u.misc.p1=Flow).
   static void ev_flow_start(Event& e);
 
  private:
   static void ev_tx_done(Event& e);  // obj=Nic
-  static void ev_wake(Event& e);     // obj=Nic, i0=gate time
-  static void ev_rto(Event& e);      // obj=Nic, p1=Flow, i1=generation
-  static void ev_ack(Event& e);      // obj=Nic, ack payload
+  static void ev_wake(Event& e);     // obj=Nic, u.timer.i0=gate time
+  static void ev_rto(Event& e);      // obj=Nic, u.misc={Flow, generation}
+  static void ev_ack(Event& e);      // obj=Nic, u.ack=AckNode handle
 
   void kick();
   void send_packet(Flow* f, std::uint32_t seq, bool retx);

@@ -121,7 +121,10 @@ class Device {
   Device(Network& net, int node);  // defined in network.hpp
   virtual ~Device() = default;
 
-  virtual void arrive(const Packet& pkt, int in_port) = 0;
+  // `pkt` is the delivery event's arena slot: the device may mutate it in
+  // place (stamp ECN/INT feedback, record the ingress port) instead of
+  // copying — the slot is dead the moment the handler returns.
+  virtual void arrive(Packet& pkt, int in_port) = 0;
   // BFC pause frame: the peer behind `egress_port` updated its paused-VFID
   // Bloom snapshot.
   virtual void on_bfc_snapshot(int egress_port,

@@ -66,7 +66,7 @@ class Switch : public Device {
   // node's tier; finalized up to `now`.
   std::int64_t paused_ns_toward(NodeTier peer_tier, Time now) const;
 
-  void arrive(const Packet& pkt, int in_port) override;
+  void arrive(Packet& pkt, int in_port) override;
   void on_bfc_snapshot(int egress_port,
                        std::shared_ptr<const BloomBits> bits) override;
   void on_pfc(int egress_port, bool paused) override;
@@ -88,6 +88,12 @@ class Switch : public Device {
     PortInfo link;
     PacketFifo hpq;
     std::vector<PacketFifo> dq;           // physical data queues
+    std::vector<std::uint64_t> dq_occ;    // bitmap: dq[q] non-empty
+    // Head-pause memo: valid while (pause_gen, head VFID) match.
+    std::vector<std::uint64_t> head_gen;
+    std::vector<std::uint32_t> head_vfid;
+    std::vector<std::uint8_t> head_paused;
+    std::uint64_t pause_gen = 1;          // bumped per snapshot arrival
     std::vector<int> dq_flows;            // flow-table entries assigned
     std::vector<std::int64_t> deficit;    // DRR byte credit per queue
     std::vector<FlowEntry*> q_entries;    // per-queue entry list heads
@@ -115,13 +121,19 @@ class Switch : public Device {
     bool snapshot_dirty = false;
   };
 
-  static void ev_tx_done(Event& e);         // obj=Switch, i1=egress port
+  static void ev_tx_done(Event& e);         // obj=Switch, u.misc.i1=egress
   static void ev_refresh(Event& e);         // obj=Switch
 
-  void enqueue(Egress& eg, int eg_port, Packet pkt, int in_port);
+  void enqueue(Egress& eg, int eg_port, Packet& pkt, int in_port);
   void kick(int eg_port);
   int pick_data_queue(Egress& eg);
-  bool queue_head_paused(const Egress& eg, int q) const;
+  // Occupied-queue bitmap upkeep; scheduling scans walk set bits instead
+  // of probing every (mostly empty) queue.
+  static void push_dq(Egress& eg, PacketArena& arena, int q,
+                      const Packet& pkt);
+  PacketNode* pop_dq_node(Egress& eg, int q);
+  static int next_occupied(const Egress& eg, int from);
+  bool queue_head_paused(Egress& eg, int q);
   int assign_queue(Egress& eg, std::uint32_t vfid);
   void link_queue_entry(Egress& eg, FlowEntry* e);
   void release_queue(Egress& eg, FlowEntry* e);

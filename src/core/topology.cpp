@@ -1,5 +1,8 @@
 #include "core/topology.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 namespace bfc {
 
 namespace {
@@ -208,9 +211,56 @@ TopoGraph TopoGraph::three_tier(const ThreeTierConfig& cfg) {
 
 std::vector<int> TopoGraph::partition(int n_shards) const {
   const int S = n_shards < 1 ? 1 : n_shards;
+  // Locality groups never split. Round-robin (`group % S`) balanced group
+  // *counts*, which skews event load whenever groups differ in size (a
+  // cross-DC fabric's two pods, a busy ToR next to a spine-only group).
+  // Greedy heaviest-first by host count — the proxy for a group's event
+  // rate — keeps per-shard host totals within one group of each other;
+  // node count breaks ties so host-less fabric groups (spines, cores,
+  // gateways) still spread. Deterministic: groups order by (host count
+  // desc, group id asc) and shard-load ties go to the lowest shard id.
+  int n_groups = 0;
+  for (int node = 0; node < num_nodes(); ++node) {
+    n_groups = std::max(n_groups, group_[node] + 1);
+  }
+  std::vector<int> g_hosts(static_cast<std::size_t>(n_groups), 0);
+  std::vector<int> g_nodes(static_cast<std::size_t>(n_groups), 0);
+  for (int node = 0; node < num_nodes(); ++node) {
+    const auto g = static_cast<std::size_t>(group_[node]);
+    ++g_nodes[g];
+    if (is_host(node)) ++g_hosts[g];
+  }
+  std::vector<int> order(static_cast<std::size_t>(n_groups));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto ga = static_cast<std::size_t>(a);
+    const auto gb = static_cast<std::size_t>(b);
+    if (g_hosts[ga] != g_hosts[gb]) return g_hosts[ga] > g_hosts[gb];
+    return a < b;
+  });
+  std::vector<int> shard_of_group(static_cast<std::size_t>(n_groups), 0);
+  std::vector<std::int64_t> s_hosts(static_cast<std::size_t>(S), 0);
+  std::vector<std::int64_t> s_nodes(static_cast<std::size_t>(S), 0);
+  for (const int g : order) {
+    int best = 0;
+    for (int s = 1; s < S; ++s) {
+      const auto su = static_cast<std::size_t>(s);
+      const auto bu = static_cast<std::size_t>(best);
+      if (s_hosts[su] < s_hosts[bu] ||
+          (s_hosts[su] == s_hosts[bu] && s_nodes[su] < s_nodes[bu])) {
+        best = s;
+      }
+    }
+    shard_of_group[static_cast<std::size_t>(g)] = best;
+    s_hosts[static_cast<std::size_t>(best)] +=
+        g_hosts[static_cast<std::size_t>(g)];
+    s_nodes[static_cast<std::size_t>(best)] +=
+        g_nodes[static_cast<std::size_t>(g)];
+  }
   std::vector<int> shard(static_cast<std::size_t>(num_nodes()), 0);
   for (int node = 0; node < num_nodes(); ++node) {
-    shard[static_cast<std::size_t>(node)] = group_[node] % S;
+    shard[static_cast<std::size_t>(node)] =
+        shard_of_group[static_cast<std::size_t>(group_[node])];
   }
   return shard;
 }

@@ -136,8 +136,10 @@ class TopoGraph {
 
   // Shard assignment for the parallel engine: every node to one of
   // `n_shards` workers. Locality groups — a pod (3-tier) or a ToR with
-  // its hosts (2-tier) — never split; fabric-only nodes (spines, cores,
-  // gateways) spread round-robin. Deterministic for a given topology.
+  // its hosts (2-tier) — never split; groups place greedily, heaviest
+  // host count first onto the lightest shard, so per-shard host totals
+  // (the event-rate proxy) stay balanced even when groups differ in
+  // size. Deterministic for a given topology.
   std::vector<int> partition(int n_shards) const;
 
  private:

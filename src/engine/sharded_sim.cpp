@@ -25,7 +25,7 @@ Event* Shard::make(int src_entity, Time at) {
 void Shard::post(Event* e, int dst_node) {
   const int dst = engine_->shard_of(dst_node);
   if (dst == idx_) {
-    push_heap_event(e);
+    wheel_.push(e);
     return;
   }
   if (e->at < now_ + engine_->lookahead_) {
@@ -44,30 +44,26 @@ void Shard::post(Event* e, int dst_node) {
 
 void Shard::post_closure(Time at, std::function<void()> fn) {
   Event* e = make(engine_->n_nodes_ + idx_, at);
-  e->closure = std::move(fn);
+  ColdNode* n = cold_.alloc();
+  n->closure = std::move(fn);
+  e->put_cold(n);
   post_local(e);
 }
 
-void Shard::push_heap_event(Event* e) {
-  heap_.push_back(HeapItem{e->at, e->key, e});
-  std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
-}
-
 void Shard::run_window(Time wend, Time stop) {
-  while (!heap_.empty()) {
-    const Time at = heap_.front().at;
-    if (at >= wend || at > stop) break;
-    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
-    Event* e = heap_.back().e;
-    heap_.pop_back();
-    now_ = at;
+  // Events run while at < wend and at <= stop; the wheel walks buckets
+  // and pops each batch in exact (timestamp, key) order.
+  const Time limit = wend <= stop ? wend : stop + 1;
+  while (Event* e = wheel_.pop_until(limit)) {
+    wheel_.prefetch_next();
+    now_ = e->at;
     ++events_run_;
     if (e->fn != nullptr) {
       e->fn(*e);
-    } else if (e->closure) {
-      e->closure();
+    } else {
+      e->u.cold.node->closure();
     }
-    pool_.release(e);
+    recycle(e);
   }
 }
 
@@ -147,7 +143,7 @@ void ShardedSimulator::drain_mailboxes(int s) {
     while (e != nullptr) {
       Event* nxt = e->next;
       e->next = nullptr;
-      sh.push_heap_event(e);
+      sh.wheel_.push(e);
       e = nxt;
     }
   }
@@ -158,8 +154,7 @@ void ShardedSimulator::worker(int s, Time stop) {
   const int S = n_shards();
   for (;;) {
     drain_mailboxes(s);
-    next_time_[static_cast<std::size_t>(s)] =
-        sh.heap_.empty() ? kTimeInf : sh.heap_.front().at;
+    next_time_[static_cast<std::size_t>(s)] = sh.wheel_.min_time();
     barrier_wait();
     // Everyone computes the same minimum from the same snapshot, so the
     // window choice is part of the deterministic execution.

@@ -26,21 +26,25 @@
 #include "core/topology.hpp"
 #include "engine/event.hpp"
 #include "engine/packet_arena.hpp"
+#include "engine/timing_wheel.hpp"
 #include "sim/time.hpp"
 
 namespace bfc {
 
 class ShardedSimulator;
 
-// One worker's event loop: a heap of pooled events plus the packet arena
-// that backs its switches' queues. All methods are only safe from the
-// owning worker thread (or from any thread while the engine is idle, e.g.
-// when pre-seeding events before run_until()).
+// One worker's event loop: a hierarchical timing wheel of cache-line
+// pooled events plus the arenas that back its switches' queues and its
+// events' payloads. All methods are only safe from the owning worker
+// thread (or from any thread while the engine is idle, e.g. when
+// pre-seeding events before run_until()).
 class Shard {
  public:
   Time now() const { return now_; }
   int index() const { return idx_; }
   PacketArena& arena() { return arena_; }
+  AckArena& acks() { return acks_; }
+  ColdArena& cold() { return cold_; }
   std::uint64_t events_run() const { return events_run_; }
 
   // Fresh pooled event stamped with `src_entity`'s next sequence number,
@@ -50,52 +54,63 @@ class Shard {
   // reserved entity.
   Event* make(int src_entity, Time at);
 
+  // Arena-backed payload handles for events posted from this shard. The
+  // node travels with the event and is released into the *executing*
+  // shard's arena by recycle() — same migration contract as event nodes.
+  PacketNode* pack(const Packet& p) {
+    PacketNode* n = arena_.alloc();
+    n->pkt = p;
+    return n;
+  }
+  AckNode* pack(const AckInfo& a) {
+    AckNode* n = acks_.alloc();
+    n->ack = a;
+    return n;
+  }
+  ColdNode* cold_slot() { return cold_.alloc(); }
+
   // Schedules `e` on the shard owning `dst_node`. A cross-shard post must
   // land at least one lookahead window ahead of this shard's clock; a
   // violation would silently break determinism, so it aborts instead.
   void post(Event* e, int dst_node);
 
   // Schedules `e` on this shard (the common self/same-shard case).
-  void post_local(Event* e) { push_heap_event(e); }
+  void post_local(Event* e) { wheel_.push(e); }
 
   // Cold path: closure event on this shard.
   void post_closure(Time at, std::function<void()> fn);
 
+  // Returns `e`'s arena payload (packet/ack/cold slot) to this shard's
+  // arenas, then the node to this shard's pool. The only way events are
+  // retired — see release_event_payload() for why.
+  void recycle(Event* e) {
+    release_event_payload(*e, arena_, acks_, cold_);
+    pool_.release(e);
+  }
+
  private:
   friend class ShardedSimulator;
 
-  // Heap entries carry the ordering fields by value so sift comparisons
-  // never chase the (cache-cold) Event nodes.
-  struct HeapItem {
-    Time at;
-    std::uint64_t key;
-    Event* e;
-  };
-  struct HeapLater {
-    bool operator()(const HeapItem& a, const HeapItem& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.key > b.key;
-    }
-  };
-
-  void push_heap_event(Event* e);
   // Runs local events with timestamp < wend (and <= stop).
   void run_window(Time wend, Time stop);
 
   ShardedSimulator* engine_ = nullptr;
   int idx_ = 0;
   Time now_ = 0;
-  std::vector<HeapItem> heap_;
+  TimingWheel wheel_;
   EventPool pool_;
   PacketArena arena_;
+  AckArena acks_;
+  ColdArena cold_;
   std::uint64_t events_run_ = 0;
 };
 
 class ShardedSimulator {
  public:
   // Partitions `topo` across `n_shards` shards using the topology's
-  // pod/ToR grouping; lookahead is derived from the minimum propagation
-  // delay of any link whose endpoints land on different shards.
+  // pod/ToR grouping (greedy heaviest-group-first by host count);
+  // lookahead is derived from the minimum propagation delay of any link
+  // whose endpoints land on different shards.
   ShardedSimulator(const TopoGraph& topo, int n_shards);
 
   ShardedSimulator(const ShardedSimulator&) = delete;

@@ -155,6 +155,9 @@ ExperimentResult run_experiment(const TopoGraph& topo,
   r.bfc = net.bfc_totals();
   r.shards = shards;
   r.events_processed = sim.events_processed();
+  for (int s = 0; s < sim.n_shards(); ++s) {
+    r.shard_events.push_back(sim.shard(s).events_run());
+  }
   r.wall_sec = wall_sec;
   return r;
 }

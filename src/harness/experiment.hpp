@@ -62,10 +62,12 @@ struct ExperimentResult {
   std::vector<SizeBin> bins;
   std::vector<double> p99_slowdown;  // per bin
   BfcTotals bfc;
-  // Engine telemetry (fig15_scale): how much work the run was and how
-  // fast the engine chewed through it.
+  // Engine telemetry (fig15_scale): how much work the run was, how fast
+  // the engine chewed through it, and how evenly the partition spread it
+  // (per-shard event counts expose placement imbalance).
   int shards = 1;
   std::uint64_t events_processed = 0;
+  std::vector<std::uint64_t> shard_events;  // events run per shard
   double wall_sec = 0;
 };
 

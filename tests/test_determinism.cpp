@@ -1,8 +1,10 @@
 // The sharded engine's headline guarantee: a run is a pure function of
 // (topology, scheme, seed) — the shard count must not appear in any
-// reported stat. Runs the same experiment at 1, 2, and 4 shards on a
+// reported stat. Runs the same experiment at 1, 2, 4, and 8 shards on a
 // 3-tier fabric and requires bit-identical flow records, buffer samples,
-// and counters.
+// and counters. (At 8 shards every core group rides its own shard, so
+// the greedy partition's host-less groups cross the mailbox machinery
+// too.)
 #include "harness/experiment.hpp"
 
 #include "test_util.hpp"
@@ -47,8 +49,9 @@ void check_scheme(const TopoGraph& topo, Scheme scheme) {
   const ExperimentResult one = run_with_shards(topo, scheme, 1);
   CHECK(one.flows_started > 0);
   CHECK(one.flows_completed > 0);
-  // Re-running at 1 shard is trivially reproducible; 2 and 4 shards cross
-  // the mailbox/lookahead machinery and must still match bit for bit.
+  // Re-running at 1 shard is trivially reproducible; 2, 4, and 8 shards
+  // cross the mailbox/lookahead machinery and must still match bit for
+  // bit.
   check_identical(one, run_with_shards(topo, scheme, 1));
   const ExperimentResult two = run_with_shards(topo, scheme, 2);
   CHECK(two.shards == 2);
@@ -56,6 +59,9 @@ void check_scheme(const TopoGraph& topo, Scheme scheme) {
   const ExperimentResult four = run_with_shards(topo, scheme, 4);
   CHECK(four.shards == 4);
   check_identical(one, four);
+  const ExperimentResult eight = run_with_shards(topo, scheme, 8);
+  CHECK(eight.shards == 8);
+  check_identical(one, eight);
 }
 
 }  // namespace

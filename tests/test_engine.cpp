@@ -1,8 +1,11 @@
-// Engine building blocks: EventPool / PacketArena node reuse, PacketFifo
-// ordering and accounting, and the ShardedSimulator's single-shard clock
-// semantics (mirroring the legacy Simulator contract).
+// Engine building blocks: EventPool / arena node reuse, the event payload
+// round-trip (a recycled event must return its arena handles and never pin
+// a snapshot), PacketFifo ordering and accounting, and the
+// ShardedSimulator's single-shard clock semantics (mirroring the legacy
+// Simulator contract).
 #include "engine/event.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "engine/packet_arena.hpp"
@@ -14,20 +17,10 @@ using namespace bfc;
 namespace {
 
 void test_event_pool_reuse() {
-  EventPool pool;
-  Event* a = pool.alloc();
-  a->closure = [] {};
-  a->bits = std::make_shared<BloomBits>(4, 0xFFULL);
-  pool.release(a);
-  // LIFO free list: the released node comes straight back, with its owning
-  // payload dropped.
-  Event* b = pool.alloc();
-  CHECK(b == a);
-  CHECK(!b->closure);
-  CHECK(b->bits == nullptr);
-  CHECK(b->fn == nullptr);
-  pool.release(b);
+  // The Event is exactly one cache line; payloads live in arenas.
+  CHECK(sizeof(Event) == 64);
 
+  EventPool pool;
   // Churning through more events than one block only grows the pool once
   // per block; steady-state alloc/release never grows it.
   std::vector<Event*> live;
@@ -40,6 +33,85 @@ void test_event_pool_reuse() {
     for (Event* e : again) pool.release(e);
   }
   CHECK(pool.blocks_allocated() == blocks);
+}
+
+// The satellite contract for recycling under the cache-line layout: a
+// pool round-trip must return every arena handle (packet, ack, cold side
+// slot) and scrub owning cold payloads, so a recycled event can neither
+// leak an arena slot nor pin a stale snapshot or closure.
+void test_event_payload_roundtrip() {
+  EventPool pool;
+  PacketArena packets;
+  AckArena acks;
+  ColdArena cold;
+
+  // Packet handle round-trip: LIFO free lists hand both nodes straight
+  // back, payload-free.
+  Event* e = pool.alloc();
+  PacketNode* pn = packets.alloc();
+  pn->pkt.seq = 7;
+  e->put_packet(pn, 3);
+  CHECK(e->payload == EvPayload::kPacket);
+  release_event_payload(*e, packets, acks, cold);
+  CHECK(e->payload == EvPayload::kNone);
+  pool.release(e);
+  CHECK(pool.alloc() == e);
+  CHECK(e->fn == nullptr);
+  CHECK(e->payload == EvPayload::kNone);
+  CHECK(packets.alloc() == pn);
+  packets.release(pn);
+
+  // Ack handle round-trip.
+  AckNode* an = acks.alloc();
+  an->ack.uid = 42;
+  e->put_ack(an);
+  release_event_payload(*e, packets, acks, cold);
+  CHECK(acks.alloc() == an);
+  acks.release(an);
+
+  // Cold side-table slot: the snapshot must be dropped the moment the
+  // slot frees — a free slot pinning BloomBits is exactly the leak the
+  // old inline shared_ptr layout could not have.
+  ColdNode* cn = cold.alloc();
+  std::shared_ptr<const BloomBits> bits =
+      std::make_shared<BloomBits>(4, 0xFFULL);
+  std::weak_ptr<const BloomBits> watch = bits;
+  cn->bits = std::move(bits);
+  cn->closure = [] {};
+  e->put_cold(cn, 1);
+  release_event_payload(*e, packets, acks, cold);
+  pool.release(e);
+  CHECK(watch.expired());
+  ColdNode* cn2 = cold.alloc();
+  CHECK(cn2 == cn);
+  CHECK(cn2->bits == nullptr);
+  CHECK(!cn2->closure);
+  cold.release(cn2);
+
+  // Steady-state churn with payloads attached: neither the pool nor the
+  // arenas grow once warm.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<Event*> batch;
+    for (int i = 0; i < 3000; ++i) {
+      Event* ev = pool.alloc();
+      ev->put_packet(packets.alloc(), i);
+      batch.push_back(ev);
+    }
+    for (Event* ev : batch) {
+      release_event_payload(*ev, packets, acks, cold);
+      pool.release(ev);
+    }
+  }
+  const std::size_t pool_blocks = pool.blocks_allocated();
+  const std::size_t pkt_blocks = packets.blocks_allocated();
+  for (int i = 0; i < 3000; ++i) {
+    Event* ev = pool.alloc();
+    ev->put_packet(packets.alloc(), i);
+    release_event_payload(*ev, packets, acks, cold);
+    pool.release(ev);
+  }
+  CHECK(pool.blocks_allocated() == pool_blocks);
+  CHECK(packets.blocks_allocated() == pkt_blocks);
 }
 
 void test_packet_fifo() {
@@ -114,22 +186,61 @@ void test_partition_and_lookahead() {
   const TopoGraph topo = TopoGraph::three_tier(ThreeTierConfig::t3_small());
   ShardedSimulator sim(topo, 4);
   CHECK(sim.n_shards() == 4);
-  // Pod members stay together; shard ids are in range.
+  // Pod members stay together; shard ids are in range; the greedy
+  // placement balances hosts exactly here (4 equal pods over 4 shards).
+  std::vector<int> pod_shard(4, -1);
+  std::vector<int> shard_hosts(4, 0);
   for (int node = 0; node < topo.num_nodes(); ++node) {
     const int s = sim.shard_of(node);
     CHECK(s >= 0 && s < 4);
-    if (topo.pod_of(node) >= 0) CHECK(s == topo.pod_of(node) % 4);
+    const int pod = topo.pod_of(node);
+    if (pod >= 0) {
+      if (pod_shard[static_cast<std::size_t>(pod)] < 0) {
+        pod_shard[static_cast<std::size_t>(pod)] = s;
+      }
+      CHECK(s == pod_shard[static_cast<std::size_t>(pod)]);
+    }
+    if (topo.is_host(node)) ++shard_hosts[static_cast<std::size_t>(s)];
+  }
+  for (int s = 0; s < 4; ++s) {
+    CHECK(shard_hosts[static_cast<std::size_t>(s)] == topo.num_hosts() / 4);
   }
   // Lookahead equals the (uniform) fabric link delay here.
   CHECK(sim.lookahead() == microseconds(1));
+}
+
+// Heaviest-first placement where round-robin genuinely skews: T1 at 3
+// shards has 8 16-host ToR groups plus 16 host-less spine groups.
+// Round-robin by group id lands the spines 5/5/6 regardless of load
+// (node totals 56/56/40); greedy sends every spine to the host-lightest
+// shard, evening node totals to 51/51/50 while host totals stay at the
+// 48/48/32 optimum.
+void test_partition_balance_uneven() {
+  const TopoGraph topo = TopoGraph::fat_tree(FatTreeConfig::t1());
+  const std::vector<int> shard = topo.partition(3);
+  std::vector<int> hosts(3, 0), nodes(3, 0);
+  for (int node = 0; node < topo.num_nodes(); ++node) {
+    const auto s = static_cast<std::size_t>(
+        shard[static_cast<std::size_t>(node)]);
+    ++nodes[s];
+    if (topo.is_host(node)) ++hosts[s];
+  }
+  const auto [hmin, hmax] = std::minmax_element(hosts.begin(), hosts.end());
+  const auto [nmin, nmax] = std::minmax_element(nodes.begin(), nodes.end());
+  // Host spread at most one group; the host-less spine groups fill the
+  // light shard so node totals come within a couple of each other.
+  CHECK(*hmax - *hmin <= 16);
+  CHECK(*nmax - *nmin <= 2);
 }
 
 }  // namespace
 
 int main() {
   test_event_pool_reuse();
+  test_event_payload_roundtrip();
   test_packet_fifo();
   test_single_shard_clock();
   test_partition_and_lookahead();
+  test_partition_balance_uneven();
   return 0;
 }

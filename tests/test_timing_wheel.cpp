@@ -1,0 +1,195 @@
+// Differential test of the engine scheduler: the hierarchical timing
+// wheel must drain in *exactly* the reference heap's (timestamp, key)
+// order for any workload the engine can produce — bulk pre-seeding,
+// interleaved push/pop with pushes at the current clock (same-timestamp
+// ties included), windowed pops with limits, and far-horizon overflow
+// (ms-scale RTO-like delays that cross the near wheel's range).
+#include "engine/timing_wheel.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "test_util.hpp"
+
+using namespace bfc;
+
+namespace {
+
+// The PR-2 scheduler the wheel replaced: a binary heap of value items.
+struct RItem {
+  Time at;
+  std::uint64_t key;
+  Event* e;
+};
+struct RLater {
+  bool operator()(const RItem& a, const RItem& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    return a.key > b.key;
+  }
+};
+struct RefHeap {
+  std::vector<RItem> h;
+
+  void push(Event* e) {
+    h.push_back({e->at, e->key, e});
+    std::push_heap(h.begin(), h.end(), RLater{});
+  }
+  Time min_time() const {
+    return h.empty() ? TimingWheel::kNever : h.front().at;
+  }
+  Event* pop_until(Time limit) {
+    if (h.empty() || h.front().at >= limit) return nullptr;
+    std::pop_heap(h.begin(), h.end(), RLater{});
+    Event* e = h.back().e;
+    h.pop_back();
+    return e;
+  }
+};
+
+Event* make_event(EventPool& pool, Time at, std::uint64_t key) {
+  Event* e = pool.alloc();
+  e->at = at;
+  e->key = key;
+  return e;
+}
+
+// Engine-like key: (entity << 32) | per-entity sequence, entities drawn
+// at random so key order is uncorrelated with push order.
+std::uint64_t next_key(Rng& rng, std::vector<std::uint32_t>& seq) {
+  const auto entity =
+      static_cast<std::size_t>(rng.uniform_int(0, 63));
+  return (static_cast<std::uint64_t>(entity) << 32) | seq[entity]++;
+}
+
+void test_bulk_drain() {
+  EventPool pool;
+  TimingWheel wheel;
+  RefHeap ref;
+  Rng rng(7);
+  std::vector<std::uint32_t> seq(64, 0);
+  // Timestamps span 3x the near horizon (far overflow) and repeat often
+  // (ties resolved by key alone).
+  for (int i = 0; i < 20000; ++i) {
+    const Time at =
+        static_cast<Time>(rng.uniform_int(0, 16)) * (TimingWheel::kHorizonNs / 8) +
+        static_cast<Time>(rng.uniform_int(0, 1000));
+    Event* e = make_event(pool, at, next_key(rng, seq));
+    wheel.push(e);
+    ref.push(e);
+  }
+  CHECK(wheel.size() == 20000);
+  Time last_at = -1;
+  std::uint64_t last_key = 0;
+  int n = 0;
+  for (;;) {
+    CHECK(wheel.min_time() == ref.min_time());
+    Event* w = wheel.pop_until(TimingWheel::kNever);
+    Event* r = ref.pop_until(TimingWheel::kNever);
+    CHECK(w == r);
+    if (w == nullptr) break;
+    // Strictly ascending (at, key): ties ordered by key.
+    CHECK(w->at > last_at || (w->at == last_at && w->key > last_key));
+    last_at = w->at;
+    last_key = w->key;
+    ++n;
+  }
+  CHECK(n == 20000);
+  CHECK(wheel.empty());
+}
+
+void test_interleaved_windows() {
+  EventPool pool;
+  TimingWheel wheel;
+  RefHeap ref;
+  Rng rng(11);
+  std::vector<std::uint32_t> seq(64, 0);
+  Time now = 0;  // engine invariant: pushes never precede the last pop
+  int pops = 0, pushes = 0;
+  auto push_one = [&] {
+    // Offset mix: exact ties at `now`, sub-slot, intra-horizon, and far
+    // (RTO-like, several horizons out).
+    const int kind = static_cast<int>(rng.uniform_int(0, 9));
+    Time off = 0;
+    if (kind == 0) {
+      off = 0;
+    } else if (kind <= 4) {
+      off = static_cast<Time>(rng.uniform_int(0, TimingWheel::kSlotNs * 4));
+    } else if (kind <= 8) {
+      off = static_cast<Time>(rng.uniform_int(0, TimingWheel::kHorizonNs));
+    } else {
+      off = static_cast<Time>(
+          rng.uniform_int(TimingWheel::kHorizonNs,
+                          4 * TimingWheel::kHorizonNs));
+    }
+    Event* e = make_event(pool, now + off, next_key(rng, seq));
+    wheel.push(e);
+    ref.push(e);
+    ++pushes;
+  };
+  for (int i = 0; i < 512; ++i) push_one();
+  for (int round = 0; round < 4000; ++round) {
+    CHECK(wheel.min_time() == ref.min_time());
+    // A conservative-PDES-style window: drain everything below a limit a
+    // little past the pending minimum, pushing as we go.
+    const Time base = ref.min_time();
+    if (base == TimingWheel::kNever) break;
+    const Time limit =
+        base + static_cast<Time>(rng.uniform_int(0, 3 * TimingWheel::kSlotNs));
+    for (;;) {
+      Event* w = wheel.pop_until(limit);
+      Event* r = ref.pop_until(limit);
+      CHECK(w == r);
+      if (w == nullptr) break;
+      CHECK(w->at >= now);
+      now = w->at;
+      ++pops;
+      while (rng.uniform() < 0.45 && pushes < 30000) push_one();
+    }
+  }
+  // Drain what's left and confirm both schedulers agree to the end.
+  for (;;) {
+    Event* w = wheel.pop_until(TimingWheel::kNever);
+    Event* r = ref.pop_until(TimingWheel::kNever);
+    CHECK(w == r);
+    if (w == nullptr) break;
+    ++pops;
+  }
+  CHECK(pops == pushes);
+  CHECK(wheel.empty() && wheel.size() == 0);
+}
+
+void test_far_only_and_limits() {
+  EventPool pool;
+  TimingWheel wheel;
+  // Only far-horizon events (the RTO pattern): the wheel must turn
+  // across empty space and still respect pop limits exactly.
+  std::vector<Event*> evs;
+  for (int i = 9; i >= 0; --i) {
+    Event* e = make_event(pool, (i + 2) * TimingWheel::kHorizonNs,
+                          static_cast<std::uint64_t>(i));
+    evs.push_back(e);
+    wheel.push(e);
+  }
+  CHECK(wheel.min_time() == 2 * TimingWheel::kHorizonNs);
+  // Limit below the minimum: nothing pops, state intact.
+  CHECK(wheel.pop_until(TimingWheel::kHorizonNs) == nullptr);
+  CHECK(wheel.size() == 10);
+  for (int i = 0; i < 10; ++i) {
+    Event* e = wheel.pop_until(TimingWheel::kNever);
+    CHECK(e != nullptr);
+    CHECK(e->at == (i + 2) * TimingWheel::kHorizonNs);
+  }
+  CHECK(wheel.empty());
+  CHECK(wheel.min_time() == TimingWheel::kNever);
+  CHECK(wheel.pop_until(TimingWheel::kNever) == nullptr);
+}
+
+}  // namespace
+
+int main() {
+  test_bulk_drain();
+  test_interleaved_windows();
+  test_far_only_and_limits();
+  return 0;
+}

@@ -4,7 +4,10 @@
 // every shard count must report byte-identical flow stats at the same
 // seed. Emits BENCH_engine.json (see bench_json.hpp) so future PRs can
 // diff engine throughput against the recorded baseline.
+#include <algorithm>
+#include <cstdlib>
 #include <sstream>
+#include <string>
 
 #include "bench_json.hpp"
 #include "bench_util.hpp"
@@ -111,13 +114,20 @@ void write_json(const std::vector<ScaleRow>& rows) {
        << ", \"slots\": " << TimingWheel::kSlots
        << ", \"horizon_ns\": " << TimingWheel::kHorizonNs << "},\n";
   body << "    \"topos\": {";
+  std::vector<std::string> topo_names;
+  for (const ScaleRow& r : rows) {
+    if (std::find(topo_names.begin(), topo_names.end(), r.topo) ==
+        topo_names.end()) {
+      topo_names.push_back(r.topo);
+    }
+  }
   bool first_topo = true;
-  for (const char* topo : {"t1_128", "t3_1024"}) {
+  for (const std::string& topo : topo_names) {
     body << (first_topo ? "" : ", ") << "\"" << topo
          << "\": {\"shards1_events_per_sec\": "
-         << static_cast<long long>(eps_of(rows, topo, 1))
-         << ", \"deterministic\": " << (det_of(rows, topo) ? "true" : "false")
-         << "}";
+         << static_cast<long long>(eps_of(rows, topo.c_str(), 1))
+         << ", \"deterministic\": "
+         << (det_of(rows, topo.c_str()) ? "true" : "false") << "}";
     first_topo = false;
   }
   body << "},\n    \"rows\": [\n";
@@ -151,19 +161,49 @@ void write_json(const std::vector<ScaleRow>& rows) {
 
 }  // namespace
 
+// BFC_FIG15_TOPOS selects which fabrics to sweep (comma-separated names);
+// the default runs all of them. CI's TSan leg uses it to focus the
+// multi-shard smoke on the largest preset.
+bool topo_selected(const char* name) {
+  const char* env = std::getenv("BFC_FIG15_TOPOS");
+  if (env == nullptr || *env == '\0') return true;
+  const std::string list(env);
+  const std::string needle(name);
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (list.compare(pos, end - pos, needle) == 0) return true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
 int main() {
   bench::header("Fig. 15", "engine throughput vs fabric size x shard count",
                 "multi-shard events/sec exceeds single-shard on the "
-                "full-scale (3-tier, 1024-host) workload, and every shard "
-                "count reports bit-identical stats at the same seed");
+                "full-scale (3-tier, 1024/4096-host) workloads, and every "
+                "shard count reports bit-identical stats at the same seed");
   // T1 (128 hosts) is the small reference: barrier overhead can eat the
-  // parallel win there. The 3-tier 1024-host fabric is the scale target.
+  // parallel win there. The 3-tier 1024- and 4096-host fabrics are the
+  // scale targets; the 4096 preset runs a shorter sim window so the full
+  // sweep stays tractable at scale 1.
   const Time t1_stop = static_cast<Time>(microseconds(400) * bench_scale());
   const Time t3_stop = static_cast<Time>(microseconds(300) * bench_scale());
+  const Time t3x_stop = static_cast<Time>(microseconds(120) * bench_scale());
   std::vector<ScaleRow> rows;
-  sweep("t1_128", TopoGraph::fat_tree(FatTreeConfig::t1()), t1_stop, rows);
-  sweep("t3_1024", TopoGraph::three_tier(ThreeTierConfig::t3_1024()),
-        t3_stop, rows);
+  if (topo_selected("t1_128")) {
+    sweep("t1_128", TopoGraph::fat_tree(FatTreeConfig::t1()), t1_stop, rows);
+  }
+  if (topo_selected("t3_1024")) {
+    sweep("t3_1024", TopoGraph::three_tier(ThreeTierConfig::t3_1024()),
+          t3_stop, rows);
+  }
+  if (topo_selected("t3_4096")) {
+    sweep("t3_4096", TopoGraph::three_tier(ThreeTierConfig::t3_4096()),
+          t3x_stop, rows);
+  }
   write_json(rows);
   return 0;
 }

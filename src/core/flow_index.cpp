@@ -1,0 +1,157 @@
+#include "core/flow_index.hpp"
+
+namespace bfc {
+
+SendState FlowIndex::classify(const Flow* f, Time now) const {
+  if (f->sender_done) return SendState::kUntracked;
+  const bool has_retx = !f->retx_q.empty();
+  const bool has_new =
+      f->next_seq < f->total_pkts &&
+      f->next_seq - f->cum - f->sacked_beyond_cum < f->win_pkts;
+  if (!has_retx && !has_new) return SendState::kWindowBlocked;
+  if (paused(f)) return SendState::kPauseBlocked;
+  if (f->next_send > now) return SendState::kPacingBlocked;
+  return SendState::kEligible;
+}
+
+void FlowIndex::place(Flow* f, SendState s, Time now) {
+  (void)now;
+  f->send_state = s;
+  switch (s) {
+    case SendState::kEligible:
+      if (!(f->index_slots & kInEligible)) {
+        f->index_slots |= kInEligible;
+        eligible_.push_back(f);
+      }
+      break;
+    case SendState::kPacingBlocked:
+      if (!(f->index_slots & kInPacing)) {
+        f->index_slots |= kInPacing;
+        pacing_.push_back(f);
+      }
+      if (f->next_send < next_gate_) next_gate_ = f->next_send;
+      break;
+    case SendState::kPauseBlocked:
+      if (!(f->index_slots & kInPaused)) {
+        f->index_slots |= kInPaused;
+        paused_.push_back(f);
+      }
+      break;
+    case SendState::kWindowBlocked:
+    case SendState::kUntracked:
+      // No container: the only exits are per-flow events (ack/RTO) that
+      // call update() with the flow in hand.
+      break;
+  }
+}
+
+void FlowIndex::update(Flow* f, Time now) {
+  const SendState s = classify(f, now);
+  if (s == f->send_state) {
+    // Same class; a pacing flow may still have moved its gate earlier
+    // (not possible today — next_send only changes on send, which leaves
+    // the flow untracked until this call — but keep the min honest).
+    if (s == SendState::kPacingBlocked && f->next_send < next_gate_) {
+      next_gate_ = f->next_send;
+    }
+    return;
+  }
+  place(f, s, now);
+}
+
+Flow* FlowIndex::pop_eligible() {
+  while (!eligible_.empty()) {
+    Flow* f = eligible_.front();
+    eligible_.pop_front();
+    f->index_slots &= static_cast<std::uint8_t>(~kInEligible);
+    if (f->send_state == SendState::kEligible) {
+      // Handed to the sender; update() after the send re-files it.
+      f->send_state = SendState::kUntracked;
+      return f;
+    }
+    // Stale entry: the flow changed class while queued; drop it.
+  }
+  return nullptr;
+}
+
+void FlowIndex::on_wake(Time now) {
+  std::size_t keep = 0;
+  Time gate = kNoGate;
+  for (std::size_t i = 0; i < pacing_.size(); ++i) {
+    Flow* f = pacing_[i];
+    if (f->send_state != SendState::kPacingBlocked) {
+      f->index_slots &= static_cast<std::uint8_t>(~kInPacing);
+      continue;  // stale
+    }
+    if (f->next_send <= now) {
+      f->index_slots &= static_cast<std::uint8_t>(~kInPacing);
+      place(f, SendState::kEligible, now);
+      continue;
+    }
+    if (f->next_send < gate) gate = f->next_send;
+    pacing_[keep++] = f;
+  }
+  pacing_.resize(keep);
+  next_gate_ = gate;
+}
+
+void FlowIndex::on_snapshot(std::shared_ptr<const BloomBits> bits,
+                            Time now) {
+  bits_ = std::move(bits);
+  // Fixed re-sort order (eligible, pacing, paused) keeps the resulting
+  // ready-FIFO order a deterministic function of the event history.
+  const std::size_t n_eligible = eligible_.size();
+  for (std::size_t i = 0; i < n_eligible; ++i) {
+    Flow* f = eligible_.front();
+    eligible_.pop_front();
+    f->index_slots &= static_cast<std::uint8_t>(~kInEligible);
+    if (f->send_state != SendState::kEligible) continue;  // stale
+    place(f, classify(f, now), now);
+  }
+  std::size_t keep = 0;
+  Time gate = kNoGate;
+  for (std::size_t i = 0; i < pacing_.size(); ++i) {
+    Flow* f = pacing_[i];
+    if (f->send_state != SendState::kPacingBlocked) {
+      f->index_slots &= static_cast<std::uint8_t>(~kInPacing);
+      continue;
+    }
+    const SendState s = classify(f, now);
+    if (s != SendState::kPacingBlocked) {
+      f->index_slots &= static_cast<std::uint8_t>(~kInPacing);
+      place(f, s, now);
+      continue;
+    }
+    if (f->next_send < gate) gate = f->next_send;
+    pacing_[keep++] = f;
+  }
+  pacing_.resize(keep);
+  next_gate_ = gate;
+  std::size_t pkeep = 0;
+  for (std::size_t i = 0; i < paused_.size(); ++i) {
+    Flow* f = paused_[i];
+    if (f->send_state != SendState::kPauseBlocked) {
+      f->index_slots &= static_cast<std::uint8_t>(~kInPaused);
+      continue;
+    }
+    const SendState s = classify(f, now);
+    if (s != SendState::kPauseBlocked) {
+      f->index_slots &= static_cast<std::uint8_t>(~kInPaused);
+      place(f, s, now);
+      continue;
+    }
+    paused_[pkeep++] = f;
+  }
+  paused_.resize(pkeep);
+}
+
+Flow* FlowIndex::reference_scan(Time now) const {
+  // Purely from-scratch: stale entries re-derive to a non-eligible class
+  // and fall through, so no cached state is consulted.
+  for (Flow* f : eligible_) {
+    if (classify(f, now) == SendState::kEligible) return f;
+  }
+  return nullptr;
+}
+
+}  // namespace bfc

@@ -1,0 +1,122 @@
+// The sender NIC's eligible-flow index.
+//
+// PR 3 left Nic::kick as the single-shard hot spot: every kick re-scanned
+// the whole active-flow list re-deriving window/pacing/pause state, O(n)
+// per transmitted packet. The index replaces the scan with a state
+// machine: each flow carries a cached sendability class (Flow::send_state)
+// that is re-derived only on the transitions that can change it — an ack
+// or RTO for that flow, a send, a pause snapshot, a pacing wake — and
+// flows classified kEligible sit in a ready FIFO, so a kick is an O(1)
+// pop.
+//
+// Classes, in the same priority order the old scan checked them (so a
+// flow that is both paused and pacing-gated is kPauseBlocked):
+//
+//   kWindowBlocked  no retx queued and no new in-window data. Leaves only
+//                   via an ack/RTO for this flow, so no container is
+//                   needed: the ack path calls update() directly.
+//   kPauseBlocked   the current BFC snapshot covers the flow's VFID.
+//                   Leaves only when a new snapshot arrives; the paused
+//                   list is re-checked wholesale then. (The old code paid
+//                   that bloom probe per flow per *kick*; now it is per
+//                   flow per *snapshot*.)
+//   kPacingBlocked  sendable but next_send is in the future. The pacing
+//                   list is swept on the wake timer at next_gate().
+//   kEligible       could transmit right now; waits in the ready FIFO.
+//
+// Round-robin semantics: the ready FIFO *is* the service order — a flow
+// re-enters at the tail after sending, which is classic round-robin while
+// everyone stays eligible; a flow re-entering from a blocked class joins
+// at the tail. Containers hold bare pointers and may keep stale entries
+// after a flow changes class; stale entries are detected by comparing the
+// cached class against the owning container and dropped lazily on the
+// next pop/sweep, which keeps every transition O(1). test_flow_index
+// differentially checks the cached classes and the pop order against a
+// from-scratch reference scan (the PR-3 style full re-derivation).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/bloom.hpp"
+#include "core/packet.hpp"
+#include "sim/time.hpp"
+
+namespace bfc {
+
+class FlowIndex {
+ public:
+  // Flow::index_slots bits: which containers still hold an entry.
+  static constexpr std::uint8_t kInEligible = 1;
+  static constexpr std::uint8_t kInPacing = 2;
+  static constexpr std::uint8_t kInPaused = 4;
+
+  // No pacing gate pending.
+  static constexpr Time kNoGate = std::numeric_limits<Time>::max();
+
+  // `bfc` + `bloom_hashes` parameterize the pause-membership probe.
+  void configure(bool bfc, int bloom_hashes) {
+    bfc_ = bfc;
+    hashes_ = bloom_hashes;
+  }
+
+  // Installs the new pause snapshot and re-sorts every flow the bits can
+  // affect (eligible, pacing, paused — window-blocked flows outrank the
+  // pause check and stay put).
+  void on_snapshot(std::shared_ptr<const BloomBits> bits, Time now);
+
+  // Starts tracking `f` (flow start). The flow must be untracked.
+  void add(Flow* f, Time now) { place(f, classify(f, now), now); }
+
+  // Re-derives `f`'s class after a sender-state transition (ack, RTO,
+  // send). O(1): touches only this flow.
+  void update(Flow* f, Time now);
+
+  // Stops tracking `f` (sender_done); container entries decay lazily.
+  void remove(Flow* f) { f->send_state = SendState::kUntracked; }
+
+  // Pops the next sendable flow, or nullptr when none is ready. The
+  // caller sends and then calls update() to re-enter the flow at the
+  // tail.
+  Flow* pop_eligible();
+
+  // Moves pacing-blocked flows whose gate has passed into the ready FIFO
+  // and recomputes next_gate().
+  void on_wake(Time now);
+
+  // Earliest pending pacing gate (kNoGate when the pacing list is empty).
+  Time next_gate() const { return next_gate_; }
+
+  // From-scratch classification — the reference the fast path must agree
+  // with. Mirrors the PR-3 Nic::sendable() check order exactly.
+  SendState classify(const Flow* f, Time now) const;
+
+  // Reference scan: first flow in ready-FIFO order whose *re-derived*
+  // class is eligible. pop_eligible() must return the same flow whenever
+  // the cached classes are consistent (test_flow_index drives both).
+  Flow* reference_scan(Time now) const;
+
+  const std::deque<Flow*>& eligible_queue() const { return eligible_; }
+  std::size_t pacing_size() const { return pacing_.size(); }
+  std::size_t paused_size() const { return paused_.size(); }
+
+ private:
+  bool paused(const Flow* f) const {
+    return bfc_ && bits_ != nullptr &&
+           bloom_snapshot_contains(*bits_, f->vfid, hashes_);
+  }
+  void place(Flow* f, SendState s, Time now);
+
+  std::deque<Flow*> eligible_;   // ready FIFO (service order)
+  std::vector<Flow*> pacing_;    // swept by on_wake
+  std::vector<Flow*> paused_;    // swept by on_snapshot
+  std::shared_ptr<const BloomBits> bits_;
+  Time next_gate_ = kNoGate;
+  int hashes_ = 0;
+  bool bfc_ = false;
+};
+
+}  // namespace bfc

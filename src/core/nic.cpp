@@ -1,7 +1,6 @@
 #include "core/nic.hpp"
 
 #include <algorithm>
-#include <limits>
 
 #include "core/cc.hpp"
 #include "core/network.hpp"
@@ -21,11 +20,12 @@ constexpr std::uint32_t kRepairBatch = 8;
 
 Nic::Nic(Network& net, int node) : Device(net, node) {
   link_ = net_.topo().ports(node)[0];
+  index_.configure(net_.params().bfc, net_.params().bloom_hashes);
 }
 
 void Nic::add_flow(Flow* f) {
   f->last_progress = shard_->now();
-  active_.push_back(f);
+  index_.add(f, shard_->now());
   arm_rto(f);
   kick();
 }
@@ -34,81 +34,45 @@ void Nic::ev_flow_start(Event& e) {
   static_cast<Nic*>(e.obj)->add_flow(static_cast<Flow*>(e.u.misc.p1));
 }
 
-bool Nic::sendable(const Flow* f, Time& gate) const {
-  if (f->sender_done) return false;
-  const bool has_retx = !f->retx_q.empty();
-  const bool has_new =
-      f->next_seq < f->total_pkts &&
-      f->next_seq - f->cum - f->sacked_beyond_cum < f->win_pkts;
-  if (!has_retx && !has_new) return false;
-  if (net_.params().bfc && pause_bits_ &&
-      bloom_snapshot_contains(*pause_bits_, f->vfid,
-                              net_.params().bloom_hashes)) {
-    return false;  // woken by the next snapshot, not by time
-  }
-  if (f->next_send > shard_->now()) {
-    gate = std::min(gate, f->next_send);
-    return false;
-  }
-  return true;
-}
-
 void Nic::kick() {
-  if (busy_ || pfc_paused_ || active_.empty()) return;
-  const Time now = shard_->now();
-  Time gate = std::numeric_limits<Time>::max();
-  Flow* chosen = nullptr;
-  for (std::size_t k = 0; k < active_.size(); ++k) {
-    const std::size_t i = (rr_ + k) % active_.size();
-    Flow* f = active_[i];
-    if (f->sender_done) continue;
-    if (sendable(f, gate)) {
-      chosen = f;
-      rr_ = (i + 1) % active_.size();
-      break;
-    }
-  }
-  // Compact finished flows occasionally (cheap amortized sweep).
-  if (chosen == nullptr && active_.size() > 64) {
-    auto alive = [](Flow* f) { return !f->sender_done; };
-    if (std::count_if(active_.begin(), active_.end(), alive) <
-        static_cast<std::ptrdiff_t>(active_.size() / 2)) {
-      active_.erase(
-          std::remove_if(active_.begin(), active_.end(),
-                         [&](Flow* f) { return !alive(f); }),
-          active_.end());
-      rr_ = 0;
-    }
-  }
-  if (chosen == nullptr) {
-    // Nothing eligible: wake when the earliest pacing gate opens.
-    if (gate != std::numeric_limits<Time>::max() &&
-        (wake_at_ < 0 || wake_at_ > gate || wake_at_ <= now)) {
-      wake_at_ = gate;
-      Event* e = shard_->make(node_, gate);
-      e->fn = &Nic::ev_wake;
-      e->obj = this;
-      e->u.timer = {gate};
-      shard_->post_local(e);
-    }
+  if (busy_ || pfc_paused_) return;
+  Flow* f = index_.pop_eligible();
+  if (f == nullptr) {
+    // Nothing ready: wake when the earliest pacing gate opens.
+    arm_wake(shard_->now());
     return;
   }
-
   std::uint32_t seq;
   bool retx = false;
-  if (!chosen->retx_q.empty()) {
-    seq = chosen->retx_q.front();
-    chosen->retx_q.pop_front();
+  if (!f->retx_q.empty()) {
+    seq = f->retx_q.front();
+    f->retx_q.pop_front();
     retx = true;
   } else {
-    seq = chosen->next_seq++;
+    seq = f->next_seq++;
   }
-  send_packet(chosen, seq, retx);
+  send_packet(f, seq, retx);
+  // Re-file at the ready queue's tail (round-robin) or into the class the
+  // send pushed it to (window full, pacing gate).
+  index_.update(f, shard_->now());
+}
+
+void Nic::arm_wake(Time now) {
+  const Time gate = index_.next_gate();
+  if (gate == FlowIndex::kNoGate) return;
+  if (wake_at_ >= 0 && wake_at_ <= gate && wake_at_ > now) return;
+  wake_at_ = gate;
+  Event* e = shard_->make(node_, gate);
+  e->fn = &Nic::ev_wake;
+  e->obj = this;
+  e->u.timer = {gate};
+  shard_->post_local(e);
 }
 
 void Nic::ev_wake(Event& e) {
   auto* nic = static_cast<Nic*>(e.obj);
   if (nic->wake_at_ == e.u.timer.i0) nic->wake_at_ = -1;
+  nic->index_.on_wake(nic->shard_->now());
   nic->kick();
 }
 
@@ -178,30 +142,36 @@ void Nic::receive_data(const Packet& pkt) {
   ack.util = pkt.util;
   ack.ts = pkt.ts;
 
+  if (f->rcv_slot == Flow::kRcvDone) {
+    // Late duplicate after full delivery: the slab slot is gone; just
+    // re-advertise completion.
+    ack.cum = f->total_pkts;
+    send_ack(f, ack);
+    return;
+  }
+  ReceiverState& rs = rcv_slab_.get(f);
   bool fresh = false;
   if (net_.params().retx == RetxMode::kGoBackN) {
-    if (pkt.seq == f->rcv_next) {
-      ++f->rcv_next;
+    if (pkt.seq == rs.rcv_next) {
+      ++rs.rcv_next;
       fresh = true;
-    } else if (pkt.seq > f->rcv_next) {
+    } else if (pkt.seq > rs.rcv_next) {
       ack.nack = true;  // out of order: GBN receivers keep nothing
     }
   } else {
-    if (f->rcvd.empty()) f->rcvd.assign(f->total_pkts, false);
-    if (!f->rcvd[pkt.seq]) {
-      f->rcvd[pkt.seq] = true;
+    rs.rcvd.ensure(f->total_pkts);
+    if (!rs.rcvd.test(pkt.seq)) {
+      rs.rcvd.set(pkt.seq);
       fresh = true;
-      while (f->rcv_next < f->total_pkts && f->rcvd[f->rcv_next]) {
-        ++f->rcv_next;
-      }
+      rs.rcv_next = rs.rcvd.next_clear(rs.rcv_next, f->total_pkts);
     }
   }
   if (fresh) stats_.delivered_payload += f->payload_of(pkt.seq);
-  if (f->rcv_next == f->total_pkts && !f->delivered) {
-    f->delivered = true;
+  ack.cum = rs.rcv_next;
+  if (rs.rcv_next == f->total_pkts) {
     net_.on_flow_complete(f, shard_->now());
+    rcv_slab_.release(f);  // marks rcv_slot = kRcvDone
   }
-  ack.cum = f->rcv_next;
   send_ack(f, ack);
 }
 
@@ -283,9 +253,9 @@ void Nic::on_ack(const AckInfo& ack) {
   const NetParams& p = net_.params();
 
   if (p.retx == RetxMode::kIrn || p.pfabric) {
-    if (f->acked.empty()) f->acked.assign(f->total_pkts, false);
-    if (!f->acked[ack.sack]) {
-      f->acked[ack.sack] = true;
+    f->acked.ensure(f->total_pkts);
+    if (!f->acked.test(ack.sack)) {
+      f->acked.set(ack.sack);
       if (ack.sack >= f->cum) ++f->sacked_beyond_cum;
     }
   }
@@ -294,11 +264,7 @@ void Nic::on_ack(const AckInfo& ack) {
     f->last_progress = now;
     if (!f->acked.empty()) {
       // Re-derive how many sacked packets sit beyond the new cum point.
-      std::uint32_t n = 0;
-      for (std::uint32_t s = f->cum; s < f->max_sent; ++s) {
-        if (f->acked[s]) ++n;
-      }
-      f->sacked_beyond_cum = n;
+      f->sacked_beyond_cum = f->acked.count_range(f->cum, f->max_sent);
     }
   }
 
@@ -316,9 +282,7 @@ void Nic::on_ack(const AckInfo& ack) {
     std::uint32_t queued = 0;
     for (std::uint32_t s = f->cum;
          s < ack.sack && queued < kRepairBatch; ++s) {
-      if (!f->acked[s] &&
-          std::find(f->retx_q.begin(), f->retx_q.end(), s) ==
-              f->retx_q.end()) {
+      if (!f->acked.test(s) && !f->retx_q.contains(s)) {
         f->retx_q.push_back(s);
         ++queued;
       }
@@ -327,9 +291,11 @@ void Nic::on_ack(const AckInfo& ack) {
 
   if (f->cum >= f->total_pkts) {
     f->sender_done = true;
+    index_.remove(f);
     return;
   }
   arm_rto(f);
+  index_.update(f, now);
   kick();
 }
 
@@ -379,19 +345,21 @@ void Nic::fire_rto(Flow* f, int gen) {
     std::uint32_t queued = 0;
     for (std::uint32_t s = f->cum; s < f->max_sent && queued < f->win_pkts;
          ++s) {
-      if (f->acked.empty() || !f->acked[s]) {
+      if (f->acked.empty() || !f->acked.test(s)) {
         f->retx_q.push_back(s);
         ++queued;
       }
     }
   }
   arm_rto(f);
+  index_.update(f, now);
   kick();
 }
 
 void Nic::on_bfc_snapshot(int /*egress_port*/,
                           std::shared_ptr<const BloomBits> bits) {
   pause_bits_ = std::move(bits);
+  index_.on_snapshot(pause_bits_, shard_->now());
   flush_acks();
   kick();
 }

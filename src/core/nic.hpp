@@ -6,14 +6,21 @@
 // events run on the NIC's shard; acks either ride the contention-free
 // control channel (default) or, under `acks_in_data`, real reverse-path
 // packets through the fabric queues.
+//
+// Sending is driven by the eligible-flow index (core/flow_index.hpp): a
+// kick pops the next ready flow in O(1) instead of re-scanning the whole
+// active list, and receiver bookkeeping is slab-allocated lazily on the
+// first data arrival (core/receiver_slab.hpp) so flow setup costs no
+// receiver memory.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <vector>
 
+#include "core/flow_index.hpp"
 #include "core/packet.hpp"
+#include "core/receiver_slab.hpp"
 #include "engine/event.hpp"
 #include "sim/time.hpp"
 
@@ -48,6 +55,11 @@ class Nic : public Device {
   // u.misc.p1=Flow).
   static void ev_flow_start(Event& e);
 
+  // Receiver-slab introspection (memory assertions, reports).
+  std::size_t receiver_slots() const { return rcv_slab_.live_slots(); }
+  std::size_t receiver_bytes() const { return rcv_slab_.bytes(); }
+  const FlowIndex& flow_index() const { return index_; }
+
  private:
   static void ev_tx_done(Event& e);  // obj=Nic
   static void ev_wake(Event& e);     // obj=Nic, u.timer.i0=gate time
@@ -55,11 +67,8 @@ class Nic : public Device {
   static void ev_ack(Event& e);      // obj=Nic, u.ack=AckNode handle
 
   void kick();
+  void arm_wake(Time now);
   void send_packet(Flow* f, std::uint32_t seq, bool retx);
-  // Returns true if `f` could send right now; otherwise sets `gate` to the
-  // earliest time it might become sendable (or leaves it untouched when the
-  // flow waits on external events).
-  bool sendable(const Flow* f, Time& gate) const;
   void arm_rto(Flow* f);
   void fire_rto(Flow* f, int gen);
   void receive_data(const Packet& pkt);
@@ -68,9 +77,9 @@ class Nic : public Device {
   void flush_acks();
 
   PortInfo link_;
-  std::vector<Flow*> active_;
+  FlowIndex index_;           // sender: eligible/blocked flow sets
+  ReceiverSlab rcv_slab_;     // receiver: lazy per-flow state
   std::deque<Packet> ack_q_;  // acks_in_data: held while pause-gated
-  std::size_t rr_ = 0;
   bool busy_ = false;
   bool pfc_paused_ = false;
   std::shared_ptr<const BloomBits> pause_bits_;

@@ -12,17 +12,56 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "core/bloom.hpp"
 #include "core/params.hpp"
+#include "core/seq_bitmap.hpp"
 #include "core/topology.hpp"
 #include "core/vfid.hpp"
 #include "sim/time.hpp"
 
 namespace bfc {
+
+// The sender NIC's per-flow sendability class (see core/flow_index.hpp).
+// Stored on the Flow so the index's containers can hold bare pointers and
+// still detect stale entries in O(1).
+enum class SendState : std::uint8_t {
+  kUntracked = 0,   // not at the sender index (pre-start or sender_done)
+  kEligible,        // in the ready queue: a packet could go out right now
+  kWindowBlocked,   // no new/retx data inside the window
+  kPauseBlocked,    // the BFC pause snapshot covers this flow's VFID
+  kPacingBlocked,   // pacing gate (next_send) is in the future
+};
+
+// FIFO of sequence numbers queued for repair. A flat vector with a head
+// cursor: identical interface to the std::deque it replaces, but a
+// default-constructed queue owns no memory (libstdc++'s deque eagerly
+// allocates its first block, which flow setup used to pay per flow).
+class RetxQueue {
+ public:
+  bool empty() const { return head_ == q_.size(); }
+  std::uint32_t front() const { return q_[head_]; }
+  void pop_front() {
+    if (++head_ == q_.size()) clear();
+  }
+  void push_back(std::uint32_t s) { q_.push_back(s); }
+  void clear() {
+    q_.clear();
+    head_ = 0;
+  }
+  bool contains(std::uint32_t s) const {
+    for (std::size_t i = head_; i < q_.size(); ++i) {
+      if (q_[i] == s) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::uint32_t> q_;
+  std::size_t head_ = 0;
+};
 
 struct Flow {
   // Identity, fixed at start_flow().
@@ -47,14 +86,19 @@ struct Flow {
   std::uint32_t cum = 0;         // cumulative ack point
   std::uint32_t max_sent = 0;    // high-water mark, distinguishes retx
   std::uint32_t sacked_beyond_cum = 0;
-  std::vector<bool> acked;       // IRN only: selective-ack bitmap
-  std::deque<std::uint32_t> retx_q;  // sequences queued for repair
+  SeqBitmap acked;               // IRN only: selective-ack bitmap
+  RetxQueue retx_q;              // sequences queued for repair
   Time next_send = 0;            // pacing gate
   Time last_progress = 0;
   Time last_rewind = -1;
   Time last_fast_retx = -1;
   bool sender_done = false;
   int rto_gen = 0;               // invalidates stale RTO events
+  // FlowIndex bookkeeping (source NIC's shard only): the cached
+  // sendability class and which index containers still hold an entry for
+  // this flow (entries outlive transitions and are dropped lazily).
+  SendState send_state = SendState::kUntracked;
+  std::uint8_t index_slots = 0;  // FlowIndex::kIn* bits
 
   // Congestion-control scratch (interpreted per scheme, see core/cc.hpp).
   double cc_target = 0;
@@ -65,10 +109,13 @@ struct Flow {
   double tm_grad = 0;
   Time hpcc_last_dec = 0;
 
-  // Receiver state (destination NIC's shard only).
-  std::uint32_t rcv_next = 0;
-  std::vector<bool> rcvd;        // IRN only
-  bool delivered = false;
+  // Receiver state (destination NIC's shard only): a handle into the
+  // destination NIC's ReceiverSlab, allocated on the first data arrival.
+  // kRcvNone = never received anything; kRcvDone = fully delivered, slot
+  // released (late duplicates ack cum = total_pkts without state).
+  static constexpr std::int32_t kRcvNone = -1;
+  static constexpr std::int32_t kRcvDone = -2;
+  std::int32_t rcv_slot = kRcvNone;
 
   int payload_of(std::uint32_t seq) const {
     if (seq + 1 < total_pkts) return kPayloadBytes;

@@ -1,0 +1,77 @@
+// Lazy per-flow receiver state, slab-allocated at the destination NIC.
+//
+// A flow's receiver bookkeeping (cumulative point, delivery flag, IRN
+// reorder bitmap) used to live inline in Flow and was touched at setup
+// time, so preparing a large trace on a big topology paid receiver memory
+// for every flow up front. Now the destination NIC allocates a compact
+// slab slot on the first data packet of a flow, keyed by the flow's
+// receiver-owned slot handle, and frees it back to the slab the moment
+// the flow fully delivers — an idle topology holds zero receiver state,
+// and steady-state memory tracks the number of flows *in flight at the
+// receiver*, not the number ever created.
+//
+// Shard safety: the slab and Flow::rcv_slot are receiver-side state, only
+// touched from the destination NIC's shard (see the field discipline note
+// in core/packet.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/packet.hpp"
+#include "core/seq_bitmap.hpp"
+
+namespace bfc {
+
+struct ReceiverState {
+  std::uint32_t rcv_next = 0;  // next in-order sequence expected
+  SeqBitmap rcvd;              // IRN only: out-of-order arrivals
+};
+
+class ReceiverSlab {
+ public:
+  // The slot for `f`, allocating on first touch. Callers must have
+  // checked f->rcv_slot != Flow::kRcvDone (a finished flow holds none).
+  ReceiverState& get(Flow* f) {
+    if (f->rcv_slot < 0) {
+      if (free_.empty()) {
+        f->rcv_slot = static_cast<std::int32_t>(slab_.size());
+        slab_.emplace_back();
+      } else {
+        f->rcv_slot = static_cast<std::int32_t>(free_.back());
+        free_.pop_back();
+        slab_[static_cast<std::size_t>(f->rcv_slot)] = ReceiverState{};
+      }
+    }
+    return slab_[static_cast<std::size_t>(f->rcv_slot)];
+  }
+
+  // Releases `f`'s slot (delivery complete); drops the bitmap words so a
+  // long run's finished flows return their reorder memory.
+  void release(Flow* f) {
+    if (f->rcv_slot < 0) {
+      f->rcv_slot = Flow::kRcvDone;
+      return;
+    }
+    slab_[static_cast<std::size_t>(f->rcv_slot)] = ReceiverState{};
+    free_.push_back(static_cast<std::uint32_t>(f->rcv_slot));
+    f->rcv_slot = Flow::kRcvDone;
+  }
+
+  // Live (allocated, unreleased) slots — the memory-assertion hook.
+  std::size_t live_slots() const { return slab_.size() - free_.size(); }
+  std::size_t capacity_slots() const { return slab_.size(); }
+
+  std::size_t bytes() const {
+    std::size_t b = slab_.capacity() * sizeof(ReceiverState) +
+                    free_.capacity() * sizeof(std::uint32_t);
+    for (const ReceiverState& rs : slab_) b += rs.rcvd.bytes();
+    return b;
+  }
+
+ private:
+  std::vector<ReceiverState> slab_;
+  std::vector<std::uint32_t> free_;  // LIFO reuse keeps slots warm
+};
+
+}  // namespace bfc

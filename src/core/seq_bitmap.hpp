@@ -1,0 +1,62 @@
+// A lazily-allocated sequence-number bitmap: 64-bit words plus popcount
+// range queries. Backs the sender's selective-ack state and the receiver's
+// out-of-order (IRN) state. A default-constructed bitmap owns no memory —
+// flow setup is free; the words appear on the first ensure(), i.e. the
+// first packet that actually needs reorder bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bfc {
+
+class SeqBitmap {
+ public:
+  bool empty() const { return words_.empty(); }
+
+  // Sizes the bitmap for sequences [0, n). First call allocates; later
+  // calls are no-ops (flows never grow).
+  void ensure(std::uint32_t n) {
+    if (words_.empty()) words_.assign((n + 63) / 64, 0);
+  }
+
+  bool test(std::uint32_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::uint32_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+
+  // Number of set bits in [lo, hi). Word-at-a-time popcount: the hot
+  // caller (re-deriving sacked_beyond_cum after a cum advance) walks the
+  // whole in-flight range on every cumulative ack.
+  std::uint32_t count_range(std::uint32_t lo, std::uint32_t hi) const {
+    if (lo >= hi || words_.empty()) return 0;
+    const std::uint32_t wl = lo >> 6, wh = (hi - 1) >> 6;
+    const std::uint64_t head_mask = ~0ULL << (lo & 63);
+    const std::uint64_t tail_mask = ~0ULL >> (63 - ((hi - 1) & 63));
+    if (wl == wh) {
+      return popcount(words_[wl] & head_mask & tail_mask);
+    }
+    std::uint32_t n = popcount(words_[wl] & head_mask);
+    for (std::uint32_t w = wl + 1; w < wh; ++w) n += popcount(words_[w]);
+    return n + popcount(words_[wh] & tail_mask);
+  }
+
+  // First clear bit at or after `i`, capped at `n`.
+  std::uint32_t next_clear(std::uint32_t i, std::uint32_t n) const {
+    while (i < n && test(i)) ++i;
+    return i;
+  }
+
+  void clear() { words_ = {}; }
+  std::size_t bytes() const { return words_.size() * sizeof(std::uint64_t); }
+
+ private:
+  static std::uint32_t popcount(std::uint64_t w) {
+    return static_cast<std::uint32_t>(__builtin_popcountll(w));
+  }
+
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bfc

@@ -69,6 +69,20 @@ struct ThreeTierConfig {
   // The 1024-host scale preset: 8 pods x 8 edges x 16 hosts, 64 cores.
   static ThreeTierConfig t3_1024() { return ThreeTierConfig{}; }
 
+  // The 4096-host scale preset: 16 pods x 16 edges x 16 hosts, 256 cores
+  // (4864 nodes). Opened by lazy receiver state — flow setup no longer
+  // pays per-flow receiver memory, so the preset's working set is events
+  // and switch queues, not idle bookkeeping.
+  static ThreeTierConfig t3_4096() {
+    ThreeTierConfig c;
+    c.n_pods = 16;
+    c.edges_per_pod = 16;
+    c.hosts_per_edge = 16;
+    c.aggs_per_pod = 16;
+    c.cores_per_agg = 16;
+    return c;
+  }
+
   // A small instance for unit tests: 32 hosts over 4 pods, 4 cores.
   static ThreeTierConfig t3_small() {
     ThreeTierConfig c;

@@ -1,0 +1,229 @@
+// The eligible-flow index's two contracts:
+//
+// 1. Differential: drive thousands of random ack / send / pacing-wake /
+//    pause-snapshot transitions and require (a) every flow's cached
+//    sendability class to equal a from-scratch classification — the PR-3
+//    Nic::sendable() re-derivation — and (b) every pop to return exactly
+//    the flow the reference scan over the ready queue picks. Together
+//    these prove the O(1) fast path never strands, loses, or mis-orders a
+//    flow relative to the full-scan reference.
+//
+// 2. Memory: an idle 4096-host three-tier fabric allocates zero receiver
+//    state (the slab is lazy), and a run that delivers everything returns
+//    every slot to the slab.
+#include "core/flow_index.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/bloom.hpp"
+#include "core/network.hpp"
+#include "sim/rng.hpp"
+#include "test_util.hpp"
+
+using namespace bfc;
+
+namespace {
+
+constexpr int kHashes = 2;
+
+// Every tracked flow's cached class must re-derive identically, and a
+// flow whose class owns a container must still hold its entry (otherwise
+// it is stranded: nothing would ever move it again).
+void check_consistent(const FlowIndex& idx, const std::vector<Flow*>& flows,
+                      Time now) {
+  for (Flow* f : flows) {
+    if (f->send_state == SendState::kUntracked) continue;
+    CHECK(idx.classify(f, now) == f->send_state);
+    switch (f->send_state) {
+      case SendState::kEligible:
+        CHECK((f->index_slots & FlowIndex::kInEligible) != 0);
+        break;
+      case SendState::kPacingBlocked:
+        CHECK((f->index_slots & FlowIndex::kInPacing) != 0);
+        break;
+      case SendState::kPauseBlocked:
+        CHECK((f->index_slots & FlowIndex::kInPaused) != 0);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void reset_flow(Flow* f, std::uint32_t vfid, std::uint32_t pkts,
+                std::uint32_t win) {
+  f->vfid = vfid;
+  f->total_pkts = pkts;
+  f->win_pkts = win;
+  f->next_seq = 0;
+  f->cum = 0;
+  f->max_sent = 0;
+  f->sacked_beyond_cum = 0;
+  f->retx_q.clear();
+  f->next_send = 0;
+  f->sender_done = false;
+}
+
+void differential_vs_reference_scan() {
+  Rng rng(20260727);
+  FlowIndex idx;
+  idx.configure(true, kHashes);
+  CountingBloom bloom(16, kHashes);
+
+  const int kFlows = 48;
+  std::vector<std::unique_ptr<Flow>> owned;
+  std::vector<Flow*> flows;
+  Time now = 0;
+  for (int i = 0; i < kFlows; ++i) {
+    owned.push_back(std::make_unique<Flow>());
+    Flow* f = owned.back().get();
+    reset_flow(f, static_cast<std::uint32_t>(i % 24),
+               static_cast<std::uint32_t>(4 + i % 57),
+               static_cast<std::uint32_t>(2 + i % 7));
+    flows.push_back(f);
+    idx.add(f, now);
+  }
+
+  int sends = 0, wakes = 0, snapshots = 0, completions = 0, retx = 0;
+  for (int step = 0; step < 30000; ++step) {
+    const double r = rng.uniform();
+    if (r < 0.45) {
+      // A kick: the O(1) pop must agree with the reference scan.
+      Flow* ref = idx.reference_scan(now);
+      Flow* got = idx.pop_eligible();
+      CHECK(got == ref);
+      if (got != nullptr) {
+        ++sends;
+        std::uint32_t seq;
+        if (!got->retx_q.empty()) {
+          seq = got->retx_q.front();
+          got->retx_q.pop_front();
+        } else {
+          seq = got->next_seq++;
+        }
+        got->max_sent = std::max(got->max_sent, seq + 1);
+        // Pacing gap: often zero (line rate), sometimes a real gate.
+        got->next_send =
+            rng.uniform() < 0.5
+                ? now
+                : now + static_cast<Time>(1 + rng.uniform() * 2000);
+        idx.update(got, now);
+      }
+    } else if (r < 0.75) {
+      // An ack: cumulative progress, occasional sack bookkeeping or a
+      // queued repair; completion recycles the flow as a fresh one.
+      Flow* f = flows[static_cast<std::size_t>(
+          rng.uniform_int(0, kFlows - 1))];
+      if (!f->sender_done && f->send_state != SendState::kUntracked) {
+        if (f->cum < f->max_sent && rng.uniform() < 0.8) {
+          f->cum += 1;
+          f->sacked_beyond_cum = std::min<std::uint32_t>(
+              f->sacked_beyond_cum, f->next_seq - f->cum);
+        }
+        if (rng.uniform() < 0.2 && f->next_seq > f->cum &&
+            f->sacked_beyond_cum < f->next_seq - f->cum) {
+          ++f->sacked_beyond_cum;  // selective ack widens the window
+        }
+        if (rng.uniform() < 0.15 && f->cum < f->max_sent) {
+          const auto s = static_cast<std::uint32_t>(
+              rng.uniform_int(f->cum, f->max_sent - 1));
+          if (!f->retx_q.contains(s)) {
+            f->retx_q.push_back(s);
+            ++retx;
+          }
+        }
+        if (f->cum >= f->total_pkts) {
+          f->sender_done = true;
+          idx.remove(f);
+          ++completions;
+          // A new flow takes the slot (stale container entries must
+          // revive or decay correctly).
+          reset_flow(f, static_cast<std::uint32_t>(rng.uniform_int(0, 23)),
+                     static_cast<std::uint32_t>(rng.uniform_int(4, 60)),
+                     static_cast<std::uint32_t>(rng.uniform_int(2, 8)));
+          idx.add(f, now);
+        } else {
+          idx.update(f, now);
+        }
+      }
+    } else if (r < 0.9) {
+      // The pacing wake timer: time advances, due gates open.
+      now += 1 + static_cast<Time>(rng.uniform() * 1500);
+      idx.on_wake(now);
+      ++wakes;
+    } else {
+      // A new pause snapshot: re-randomize the paused-VFID set.
+      CountingBloom fresh(16, kHashes);
+      const int n_paused = static_cast<int>(rng.uniform_int(0, 6));
+      for (int i = 0; i < n_paused; ++i) {
+        fresh.add(static_cast<std::uint32_t>(rng.uniform_int(0, 23)));
+      }
+      idx.on_snapshot(fresh.snapshot(), now);
+      ++snapshots;
+    }
+    check_consistent(idx, flows, now);
+  }
+  // The run exercised every transition class.
+  CHECK(sends > 5000);
+  CHECK(completions > 50);
+  CHECK(retx > 100);
+  CHECK(wakes > 1000);
+  CHECK(snapshots > 500);
+}
+
+// Flow setup must cost no receiver memory: a 4096-host fabric with no
+// traffic holds zero slab slots across all NICs.
+void idle_t3_4096_allocates_no_receiver_state() {
+  const TopoGraph topo = TopoGraph::three_tier(ThreeTierConfig::t3_4096());
+  ShardedSimulator sim(topo, 2);
+  Network net(sim, topo, Scheme::kBfc);
+  sim.run_until(microseconds(20));
+  CHECK(static_cast<int>(net.nics().size()) == 4096);
+  std::size_t slots = 0, bytes = 0;
+  for (const Nic* nic : net.nics()) {
+    slots += nic->receiver_slots();
+    bytes += nic->receiver_bytes();
+  }
+  CHECK(slots == 0);
+  CHECK(bytes == 0);
+}
+
+// Receiver slots are transient: allocated on first data, released on
+// delivery — a drained run ends with zero live slots.
+void receiver_slots_release_on_delivery() {
+  FatTreeConfig ft;
+  ft.n_tors = 2;
+  ft.hosts_per_tor = 4;
+  ft.n_spines = 2;
+  const TopoGraph topo = TopoGraph::fat_tree(ft);
+  ShardedSimulator sim(topo, 1);
+  Network net(sim, topo, Scheme::kBfc);
+  std::uint64_t uid = 1;
+  for (int src = 0; src < 8; ++src) {
+    FlowKey key{static_cast<std::uint32_t>(src),
+                static_cast<std::uint32_t>((src + 3) % 8),
+                static_cast<std::uint16_t>(1000 + src), 80};
+    net.start_flow(key, 50'000, uid++, false);
+  }
+  sim.run_until(milliseconds(5));
+  net.flow_stats().apply_tags();
+  CHECK(net.flow_stats().completed() == 8);
+  std::size_t live = 0, capacity = 0;
+  for (const Nic* nic : net.nics()) {
+    live += nic->receiver_slots();
+    capacity += nic->receiver_bytes();
+  }
+  CHECK(live == 0);      // every slot released back to its slab
+  CHECK(capacity > 0);   // ...but slots were genuinely used
+}
+
+}  // namespace
+
+int main() {
+  differential_vs_reference_scan();
+  idle_t3_4096_allocates_no_receiver_state();
+  receiver_slots_release_on_delivery();
+  return 0;
+}

@@ -112,8 +112,37 @@ void check_topo(const ThreeTierConfig& cfg) {
 
 }  // namespace
 
+// The partitioner must spread the 4096-host preset's 16 pods evenly: at
+// power-of-two shard counts every shard gets the same host total, and
+// the host-less core groups spread instead of piling onto one shard.
+void check_t3_4096_partition() {
+  const TopoGraph topo = TopoGraph::three_tier(ThreeTierConfig::t3_4096());
+  for (int shards : {1, 2, 4, 8}) {
+    const auto part = topo.partition(shards);
+    std::vector<int> hosts(static_cast<std::size_t>(shards), 0);
+    std::vector<int> pod_shard(16, -1);
+    for (int node = 0; node < topo.num_nodes(); ++node) {
+      const int s = part[static_cast<std::size_t>(node)];
+      CHECK(s >= 0 && s < shards);
+      if (topo.is_host(node)) ++hosts[static_cast<std::size_t>(s)];
+      const int pod = topo.pod_of(node);
+      if (pod >= 0) {
+        if (pod_shard[static_cast<std::size_t>(pod)] < 0) {
+          pod_shard[static_cast<std::size_t>(pod)] = s;
+        }
+        CHECK(pod_shard[static_cast<std::size_t>(pod)] == s);
+      }
+    }
+    for (int s = 0; s < shards; ++s) {
+      CHECK(hosts[static_cast<std::size_t>(s)] == 4096 / shards);
+    }
+  }
+}
+
 int main() {
   check_topo(ThreeTierConfig::t3_small());
   check_topo(ThreeTierConfig::t3_1024());
+  check_topo(ThreeTierConfig::t3_4096());
+  check_t3_4096_partition();
   return 0;
 }

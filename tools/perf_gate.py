@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Engine perf regression gate.
+
+Compares a fresh fig15_scale run (BENCH json) against the committed
+BENCH_engine.json baseline and fails on a throughput regression beyond
+the tolerance band, printing a trajectory diff (PR-2 heap engine ->
+committed -> this run) that CI appends to the job summary.
+
+Modes:
+  raw (default)   each topo's shards1_events_per_sec must stay within
+                  --tolerance of the committed value. Right when baseline
+                  and current run on the same machine.
+  --calibrate     divides out machine speed first: the best-performing
+                  topo's current/committed ratio (capped at 1.0) is taken
+                  as the machine factor, and every topo must stay within
+                  --tolerance of factor * committed. A uniformly slower
+                  CI runner passes; a subsystem that regressed relative
+                  to its peers fails. A hard floor (--hard-floor, default
+                  0.25x committed) still catches across-the-board
+                  collapses that calibration could otherwise absorb.
+
+Always enforced: nonzero throughput and a clean determinism column.
+
+--self-test runs the gate against synthetic inputs (a >25% injected
+regression must fail, a healthy run must pass) and is wired into CI so
+the gate itself is tested on every push.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_topos(path):
+    with open(path) as f:
+        doc = json.load(f)
+    engine = doc.get("engine", {})
+    return engine.get("topos", {}), engine.get("scale"), doc.get("baseline", {})
+
+
+def gate(current, committed, tolerance, calibrate, hard_floor, pr2=None):
+    """Returns (failures, rows). `current`/`committed` map topo ->
+    {shards1_events_per_sec, deterministic}; rows are markdown cells."""
+    failures = []
+    # A committed topo must appear in the current run: a sweep that
+    # silently drops a fabric (stray BFC_FIG15_TOPOS, bench bug) must not
+    # shrink the gated surface.
+    for topo in committed:
+        if topo not in current:
+            failures.append(f"{topo}: in committed baseline but missing "
+                            "from the current run")
+    ratios = {}
+    for topo, cur in current.items():
+        eps = cur.get("shards1_events_per_sec", 0)
+        if eps <= 0:
+            failures.append(f"{topo}: zero throughput")
+        if not cur.get("deterministic", False):
+            failures.append(f"{topo}: shard counts disagree (det=false)")
+        base = committed.get(topo, {}).get("shards1_events_per_sec", 0)
+        if base > 0 and eps > 0:
+            ratios[topo] = eps / base
+    factor = 1.0
+    if calibrate and ratios:
+        factor = min(1.0, max(ratios.values()))
+
+    rows = []
+    pr2 = pr2 or {}
+    for topo, cur in sorted(current.items()):
+        eps = cur.get("shards1_events_per_sec", 0)
+        base = committed.get(topo, {}).get("shards1_events_per_sec", 0)
+        pr2_eps = pr2.get(f"{topo}_events_per_sec", 0)
+        if base <= 0:
+            rows.append((topo, pr2_eps, base, eps, None, "new (no baseline)"))
+            continue
+        allowed = base * factor * (1.0 - tolerance)
+        floor = base * hard_floor
+        delta = eps / base - 1.0
+        status = "ok"
+        if eps < allowed:
+            status = "REGRESSION"
+            failures.append(
+                f"{topo}: {eps:,.0f} ev/s is below the gate "
+                f"({allowed:,.0f} = committed {base:,.0f} x machine-factor "
+                f"{factor:.2f} x (1 - {tolerance:.2f}))")
+        elif eps < floor:
+            status = "REGRESSION (hard floor)"
+            failures.append(
+                f"{topo}: {eps:,.0f} ev/s is below the hard floor "
+                f"({floor:,.0f} = {hard_floor:.2f} x committed {base:,.0f})")
+        rows.append((topo, pr2_eps, base, eps, delta, status))
+    return failures, rows, factor
+
+
+def render(rows, factor, tolerance, calibrate, cur_scale, base_scale):
+    lines = ["## Engine perf trajectory", ""]
+    mode = (f"calibrated (machine factor {factor:.2f})"
+            if calibrate else "raw")
+    lines.append(
+        f"Gate: {mode}, tolerance {tolerance:.0%}; current scale "
+        f"{cur_scale}, committed scale {base_scale}.")
+    lines.append("")
+    lines.append("| topo | PR-2 heap ev/s | committed ev/s | this run ev/s "
+                 "| delta | status |")
+    lines.append("|---|---:|---:|---:|---:|---|")
+    for topo, pr2_eps, base, eps, delta, status in rows:
+        lines.append("| {} | {} | {} | {} | {} | {} |".format(
+            topo,
+            f"{pr2_eps:,.0f}" if pr2_eps else "-",
+            f"{base:,.0f}" if base else "-",
+            f"{eps:,.0f}",
+            f"{delta:+.1%}" if delta is not None else "-",
+            status))
+    return "\n".join(lines) + "\n"
+
+
+def self_test():
+    committed = {
+        "t1_128": {"shards1_events_per_sec": 4_000_000, "deterministic": True},
+        "t3_1024": {"shards1_events_per_sec": 2_400_000, "deterministic": True},
+    }
+
+    def run(current, calibrate):
+        failures, _, _ = gate(current, committed, tolerance=0.25,
+                              calibrate=calibrate, hard_floor=0.25)
+        return failures
+
+    healthy = {
+        "t1_128": {"shards1_events_per_sec": 3_900_000, "deterministic": True},
+        "t3_1024": {"shards1_events_per_sec": 2_500_000, "deterministic": True},
+        "t3_4096": {"shards1_events_per_sec": 2_400_000, "deterministic": True},
+    }
+    assert run(healthy, False) == [], "healthy run must pass (raw)"
+    assert run(healthy, True) == [], "healthy run must pass (calibrated)"
+
+    # Injected >25% drop on one topo: both modes must fail.
+    regressed = dict(healthy)
+    regressed["t3_1024"] = {"shards1_events_per_sec": 1_600_000,
+                            "deterministic": True}
+    assert run(regressed, False), "33% drop must fail (raw)"
+    assert run(regressed, True), "relative 33% drop must fail (calibrated)"
+
+    # Uniformly slower machine (-40% across the board): calibration
+    # absorbs it, raw mode (same-machine contract) flags it.
+    slow = {t: {"shards1_events_per_sec": int(v["shards1_events_per_sec"] * 0.6),
+                "deterministic": True} for t, v in healthy.items()}
+    assert run(slow, True) == [], "uniform slowness must pass calibrated"
+    assert run(slow, False), "uniform 40% drop must fail raw"
+
+    # Across-the-board collapse: the hard floor catches it even calibrated.
+    collapse = {t: {"shards1_events_per_sec": 1, "deterministic": True}
+                for t in healthy}
+    assert run(collapse, True), "collapse must fail even calibrated"
+
+    # Nondeterminism and zero throughput always fail.
+    bad_det = dict(healthy)
+    bad_det["t1_128"] = {"shards1_events_per_sec": 4_000_000,
+                         "deterministic": False}
+    assert run(bad_det, True), "det=false must fail"
+
+    # A committed topo silently dropped from the sweep must fail.
+    partial = {t: v for t, v in healthy.items() if t != "t3_1024"}
+    assert run(partial, True), "missing committed topo must fail"
+    print("perf_gate self-test ok")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", help="BENCH json from this run")
+    ap.add_argument("--baseline", help="committed BENCH_engine.json")
+    ap.add_argument("--tolerance", type=float,
+                    default=float(os.environ.get("BFC_PERF_GATE_TOLERANCE",
+                                                 "0.25")))
+    ap.add_argument("--calibrate", action="store_true",
+                    help="normalize for machine speed before gating")
+    ap.add_argument("--hard-floor", type=float, default=0.25,
+                    help="fail below this fraction of committed, always")
+    ap.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
+                    help="markdown file to append the trajectory diff to")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return 0
+    if not args.current or not args.baseline:
+        ap.error("--current and --baseline are required (or --self-test)")
+
+    current, cur_scale, _ = load_topos(args.current)
+    committed, base_scale, pr2 = load_topos(args.baseline)
+    if not current:
+        print("perf_gate: no engine.topos in", args.current, file=sys.stderr)
+        return 1
+
+    failures, rows, factor = gate(current, committed, args.tolerance,
+                                  args.calibrate, args.hard_floor, pr2)
+    report = render(rows, factor, args.tolerance, args.calibrate,
+                    cur_scale, base_scale)
+    print(report)
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(report)
+    for msg in failures:
+        print("perf_gate FAIL:", msg, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,21 @@ inline std::string bench_json_path() {
   return env != nullptr && *env != '\0' ? env : "BENCH_engine.json";
 }
 
+// Process peak RSS (VmHWM) in KB from /proc/self/status; 0 where the
+// proc interface is unavailable. Note VmHWM is a process-wide high-water
+// mark: sampled per bench row it is monotone across rows, so the first
+// row that jumps is the one that grew the footprint.
+inline long read_peak_rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtol(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
+}
+
 inline std::string slurp(const std::string& path) {
   std::ifstream in(path);
   if (!in) return {};

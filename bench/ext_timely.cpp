@@ -37,11 +37,27 @@ int main() {
     results.push_back(run_experiment(topo, cfg));
     results.back().scheme = "Timely+AckQ";
     const auto& r = results.back();
-    std::printf("[%s] flows=%llu/%llu drops=%lld p99buf=%.2fMB\n",
+    std::printf("[%s] flows=%llu/%llu drops=%lld p99buf=%.2fMB "
+                "acks=%lld deferred=%lld\n",
                 r.scheme.c_str(),
                 static_cast<unsigned long long>(r.flows_completed),
                 static_cast<unsigned long long>(r.flows_started),
-                static_cast<long long>(r.drops), r.buffer_p99_mb);
+                static_cast<long long>(r.drops), r.buffer_p99_mb,
+                static_cast<long long>(r.acks_data_path),
+                static_cast<long long>(r.acks_deferred));
+    // Assertion: under acks_in_data the receiver uplink is genuinely
+    // arbitrated — acks ride the egress pacer (acks_data_path) and, at
+    // 60% bidirectional load, some of them must have found the uplink
+    // busy (acks_deferred). Zero on either side means the arbitration
+    // was bypassed.
+    if (r.acks_data_path <= 0 || r.acks_deferred <= 0) {
+      std::fprintf(stderr,
+                   "ext_timely: AckQ row did not arbitrate the uplink "
+                   "(acks_data_path=%lld, acks_deferred=%lld)\n",
+                   static_cast<long long>(r.acks_data_path),
+                   static_cast<long long>(r.acks_deferred));
+      return 1;
+    }
   }
   std::printf("\np99 FCT slowdown by flow size (non-incast traffic):\n");
   print_slowdown_table(paper_size_bins(), results);

@@ -23,6 +23,7 @@ struct ScaleRow {
   bool det = true;
   ExperimentResult exp;
   double events_per_sec = 0;
+  long peak_rss_kb = 0;  // VmHWM after this row (monotone across rows)
 };
 
 ScaleRow run_one(const char* name, const TopoGraph& topo, int shards,
@@ -39,6 +40,7 @@ ScaleRow run_one(const char* name, const TopoGraph& topo, int shards,
                            ? static_cast<double>(row.exp.events_processed) /
                                  row.exp.wall_sec
                            : 0;
+  row.peak_rss_kb = bench::read_peak_rss_kb();
   return row;
 }
 
@@ -64,8 +66,8 @@ void sweep(const char* name, const TopoGraph& topo, Time stop,
            std::vector<ScaleRow>& all) {
   std::printf("\n[%s] %d hosts, %d nodes, stop=%.0f us\n", name,
               topo.num_hosts(), topo.num_nodes(), to_usec(stop));
-  std::printf("%-8s %14s %12s %12s %14s %6s  %s\n", "shards", "events",
-              "wall(s)", "Mevents/s", "flows done", "det",
+  std::printf("%-8s %14s %12s %12s %14s %6s %10s  %s\n", "shards", "events",
+              "wall(s)", "Mevents/s", "flows done", "det", "rss(MB)",
               "per-shard events");
   std::size_t base_idx = 0;
   double single_eps = 0, best_multi_eps = 0;
@@ -79,11 +81,13 @@ void sweep(const char* name, const TopoGraph& topo, Time stop,
       row.det = same_stats(all[base_idx].exp, row.exp);
       best_multi_eps = std::max(best_multi_eps, row.events_per_sec);
     }
-    std::printf("%-8d %14llu %12.3f %12.2f %14llu %6s  %s\n", shards,
+    std::printf("%-8d %14llu %12.3f %12.2f %14llu %6s %10.1f  %s\n", shards,
                 static_cast<unsigned long long>(row.exp.events_processed),
                 row.exp.wall_sec, row.events_per_sec / 1e6,
                 static_cast<unsigned long long>(row.exp.flows_completed),
-                row.det ? "yes" : "NO", shard_events_str(row.exp).c_str());
+                row.det ? "yes" : "NO",
+                static_cast<double>(row.peak_rss_kb) / 1024.0,
+                shard_events_str(row.exp).c_str());
   }
   std::printf("multi-shard speedup over 1 shard: %.2fx\n",
               single_eps > 0 ? best_multi_eps / single_eps : 0);
@@ -138,7 +142,8 @@ void write_json(const std::vector<ScaleRow>& rows) {
          << ", \"wall_sec\": " << r.exp.wall_sec
          << ", \"events_per_sec\": "
          << static_cast<long long>(r.events_per_sec) << ", \"det\": "
-         << (r.det ? "true" : "false") << ", \"shard_events\": "
+         << (r.det ? "true" : "false") << ", \"peak_rss_kb\": "
+         << r.peak_rss_kb << ", \"shard_events\": "
          << shard_events_str(r.exp) << "}" << (i + 1 < rows.size() ? "," : "")
          << "\n";
   }
@@ -162,11 +167,13 @@ void write_json(const std::vector<ScaleRow>& rows) {
 }  // namespace
 
 // BFC_FIG15_TOPOS selects which fabrics to sweep (comma-separated names);
-// the default runs all of them. CI's TSan leg uses it to focus the
-// multi-shard smoke on the largest preset.
-bool topo_selected(const char* name) {
+// the default runs every default-on fabric. The 16384-host preset is
+// opt-in (`default_on=false`): its sweep is sized for the Release perf
+// job and would blow the sanitizer legs' budget, so it only runs when the
+// env var names it explicitly.
+bool topo_selected(const char* name, bool default_on = true) {
   const char* env = std::getenv("BFC_FIG15_TOPOS");
-  if (env == nullptr || *env == '\0') return true;
+  if (env == nullptr || *env == '\0') return default_on;
   const std::string list(env);
   const std::string needle(name);
   std::size_t pos = 0;
@@ -183,15 +190,17 @@ bool topo_selected(const char* name) {
 int main() {
   bench::header("Fig. 15", "engine throughput vs fabric size x shard count",
                 "multi-shard events/sec exceeds single-shard on the "
-                "full-scale (3-tier, 1024/4096-host) workloads, and every "
+                "full-scale (3-tier, 1024+-host) workloads, and every "
                 "shard count reports bit-identical stats at the same seed");
   // T1 (128 hosts) is the small reference: barrier overhead can eat the
-  // parallel win there. The 3-tier 1024- and 4096-host fabrics are the
-  // scale targets; the 4096 preset runs a shorter sim window so the full
-  // sweep stays tractable at scale 1.
+  // parallel win there. The 3-tier 1024/4096/16384-host fabrics are the
+  // scale targets; the bigger presets run shorter sim windows so the full
+  // sweep stays tractable at scale 1. t3_16384 — opened by lazy switch
+  // state and on-demand routing — is opt-in via BFC_FIG15_TOPOS.
   const Time t1_stop = static_cast<Time>(microseconds(400) * bench_scale());
   const Time t3_stop = static_cast<Time>(microseconds(300) * bench_scale());
   const Time t3x_stop = static_cast<Time>(microseconds(120) * bench_scale());
+  const Time t3xx_stop = static_cast<Time>(microseconds(60) * bench_scale());
   std::vector<ScaleRow> rows;
   if (topo_selected("t1_128")) {
     sweep("t1_128", TopoGraph::fat_tree(FatTreeConfig::t1()), t1_stop, rows);
@@ -204,6 +213,20 @@ int main() {
     sweep("t3_4096", TopoGraph::three_tier(ThreeTierConfig::t3_4096()),
           t3x_stop, rows);
   }
+  if (topo_selected("t3_16384", /*default_on=*/false)) {
+    sweep("t3_16384", TopoGraph::three_tier(ThreeTierConfig::t3_16384()),
+          t3xx_stop, rows);
+  }
   write_json(rows);
+  // Determinism is a hard property, not a column: a sweep whose shard
+  // counts disagree fails the binary (and with it every smoke/CI leg
+  // that runs it, not only the gated perf job).
+  for (const ScaleRow& r : rows) {
+    if (!r.det) {
+      std::fprintf(stderr, "fig15_scale: %s shards=%d is NOT deterministic\n",
+                   r.topo.c_str(), r.shards);
+      return 1;
+    }
+  }
   return 0;
 }

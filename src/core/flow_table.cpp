@@ -26,17 +26,15 @@ inline void reset_entry(FlowEntry& e) {
 }  // namespace
 
 FlowTable::FlowTable(int n_slots, int ways, int overflow_slots)
-    : slots_(static_cast<std::size_t>(n_slots < ways ? ways : n_slots)),
-      overflow_(static_cast<std::size_t>(overflow_slots)),
-      ways_(ways < 1 ? 1 : ways) {
-  n_buckets_ = slots_.size() / static_cast<std::size_t>(ways_);
+    : ways_(ways < 1 ? 1 : ways),
+      overflow_slots_(static_cast<std::size_t>(
+          overflow_slots < 0 ? 0 : overflow_slots)) {
+  const std::size_t slots =
+      static_cast<std::size_t>(n_slots < ways_ ? ways_ : n_slots);
+  n_buckets_ = slots / static_cast<std::size_t>(ways_);
   if (n_buckets_ == 0) n_buckets_ = 1;
-  chain_.assign(n_buckets_, nullptr);
-  // Thread the overflow pool into a free list.
-  for (std::size_t i = 0; i + 1 < overflow_.size(); ++i) {
-    overflow_[i].next = &overflow_[i + 1];
-  }
-  free_overflow_ = overflow_.empty() ? nullptr : &overflow_[0];
+  // Chunk directory only: no entry memory until a flow hashes in.
+  banks_.resize((n_buckets_ + kChunkBuckets - 1) / kChunkBuckets);
 }
 
 std::size_t FlowTable::bucket_of(std::uint32_t vfid, int egress,
@@ -44,30 +42,76 @@ std::size_t FlowTable::bucket_of(std::uint32_t vfid, int egress,
   return key_hash(vfid, egress, prio) % n_buckets_;
 }
 
+std::size_t FlowTable::chunk_buckets(std::size_t ci) const {
+  const std::size_t start = ci * kChunkBuckets;
+  const std::size_t n = n_buckets_ - start;
+  return n < kChunkBuckets ? n : kChunkBuckets;
+}
+
+FlowTable::Bank& FlowTable::bank_for(std::size_t bucket) {
+  Bank& b = banks_[bucket / kChunkBuckets];
+  if (b.entries == nullptr) {
+    const std::size_t nb = chunk_buckets(bucket / kChunkBuckets);
+    entry_blocks_.push_back(std::make_unique<FlowEntry[]>(
+        nb * static_cast<std::size_t>(ways_)));
+    chain_blocks_.push_back(std::make_unique<FlowEntry*[]>(nb));
+    b.entries = entry_blocks_.back().get();
+    b.chain = chain_blocks_.back().get();
+    for (std::size_t i = 0; i < nb; ++i) b.chain[i] = nullptr;
+  }
+  return b;
+}
+
+void FlowTable::ensure_overflow() {
+  if (overflow_init_) return;
+  overflow_init_ = true;
+  // Allocated once, exactly sized: entry pointers (held in chains and by
+  // the switch) must never move.
+  overflow_.resize(overflow_slots_);
+  for (std::size_t i = 0; i + 1 < overflow_.size(); ++i) {
+    overflow_[i].next = &overflow_[i + 1];
+  }
+  free_overflow_ = overflow_.empty() ? nullptr : &overflow_[0];
+}
+
+std::size_t FlowTable::allocated_bytes() const {
+  // Tail chunks can be short, but sizing every chunk at the full width
+  // is an upper bound good enough for footprint reporting.
+  const std::size_t per_chunk =
+      kChunkBuckets * static_cast<std::size_t>(ways_) * sizeof(FlowEntry) +
+      kChunkBuckets * sizeof(FlowEntry*);
+  return banks_.capacity() * sizeof(Bank) +
+         entry_blocks_.size() * per_chunk +
+         overflow_.capacity() * sizeof(FlowEntry);
+}
+
 FlowEntry* FlowTable::acquire(std::uint32_t vfid, int egress, int prio,
                               bool& created) {
   created = false;
   const std::size_t b = bucket_of(vfid, egress, prio);
-  FlowEntry* base = &slots_[b * static_cast<std::size_t>(ways_)];
+  Bank& bank = bank_for(b);
+  const std::size_t local = b % kChunkBuckets;
+  FlowEntry* base = bank.entries + local * static_cast<std::size_t>(ways_);
   FlowEntry* empty = nullptr;
   for (int w = 0; w < ways_; ++w) {
     FlowEntry& e = base[w];
     if (matches(e, vfid, egress, prio)) return &e;
     if (!e.in_use && empty == nullptr) empty = &e;
   }
-  for (FlowEntry* e = chain_[b]; e != nullptr; e = e->next) {
+  for (FlowEntry* e = bank.chain[local]; e != nullptr; e = e->next) {
     if (matches(*e, vfid, egress, prio)) return e;
   }
   if (empty == nullptr) {
     // Bucket full: chain a spare from the overflow pool.
+    ensure_overflow();
     if (free_overflow_ == nullptr) {
       ++rejects_;
       return nullptr;
     }
     empty = free_overflow_;
     free_overflow_ = empty->next;
-    empty->next = chain_[b];
-    chain_[b] = empty;
+    empty->next = bank.chain[local];
+    bank.chain[local] = empty;
   }
   empty->in_use = true;
   empty->vfid = vfid;
@@ -80,11 +124,14 @@ FlowEntry* FlowTable::acquire(std::uint32_t vfid, int egress, int prio,
 
 FlowEntry* FlowTable::find(std::uint32_t vfid, int egress, int prio) {
   const std::size_t b = bucket_of(vfid, egress, prio);
-  FlowEntry* base = &slots_[b * static_cast<std::size_t>(ways_)];
+  const Bank& bank = banks_[b / kChunkBuckets];
+  if (bank.entries == nullptr) return nullptr;  // never materialized
+  const std::size_t local = b % kChunkBuckets;
+  FlowEntry* base = bank.entries + local * static_cast<std::size_t>(ways_);
   for (int w = 0; w < ways_; ++w) {
     if (matches(base[w], vfid, egress, prio)) return &base[w];
   }
-  for (FlowEntry* e = chain_[b]; e != nullptr; e = e->next) {
+  for (FlowEntry* e = bank.chain[local]; e != nullptr; e = e->next) {
     if (matches(*e, vfid, egress, prio)) return e;
   }
   return nullptr;
@@ -100,9 +147,11 @@ void FlowTable::erase(FlowEntry* e) {
   --live_;
   // Overflow entries go back to the free list; bucketed entries are cleared
   // in place.
-  if (e >= overflow_.data() && e < overflow_.data() + overflow_.size()) {
+  if (!overflow_.empty() && e >= overflow_.data() &&
+      e < overflow_.data() + overflow_.size()) {
     const std::size_t b = bucket_of(e->vfid, e->egress, e->prio);
-    FlowEntry** pp = &chain_[b];
+    Bank& bank = bank_for(b);
+    FlowEntry** pp = &bank.chain[b % kChunkBuckets];
     while (*pp != nullptr && *pp != e) pp = &(*pp)->next;
     if (*pp == e) *pp = e->next;
     reset_entry(*e);

@@ -7,9 +7,19 @@
 // `acquire` returns nullptr when both the bucket and the overflow pool are
 // exhausted: the caller falls back to a static queue and counts an overflow
 // packet (Fig. 13).
+//
+// Storage is a lazily-materialized chunk slab: buckets group into chunks of
+// 64, and a chunk's entry array (plus its overflow-chain heads) is only
+// allocated when the first flow hashes into it. The *capacity* contract is
+// unchanged — bounded, nothing evicted while in use — but a switch that
+// never sees traffic holds no entry memory at all, which is what lets a
+// 16384-host fabric construct every switch up front. Chunks are never
+// released (a switch that was busy stays warm); `allocated_chunks()` /
+// `allocated_bytes()` expose the footprint to tests and reports.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace bfc {
@@ -55,18 +65,45 @@ class FlowTable {
   void erase(FlowEntry* e);
 
   std::size_t size() const { return live_; }
-  std::size_t capacity() const { return slots_.size() + overflow_.size(); }
+  std::size_t capacity() const {
+    return n_buckets_ * static_cast<std::size_t>(ways_) + overflow_slots_;
+  }
   std::int64_t overflow_rejects() const { return rejects_; }
 
- private:
-  std::size_t bucket_of(std::uint32_t vfid, int egress, int prio) const;
+  // Lazy-slab introspection (idle-footprint assertions, reports).
+  std::size_t allocated_chunks() const { return entry_blocks_.size(); }
+  std::size_t allocated_bytes() const;
 
-  std::vector<FlowEntry> slots_;      // ways * n_buckets
-  std::vector<FlowEntry> overflow_;   // shared spare pool
-  std::vector<FlowEntry*> chain_;     // per-bucket overflow chain head
+ private:
+  // 64 buckets per chunk: at the default geometry (16384 VFIDs, 4 ways)
+  // a chunk is ~23 KB and a switch has 64 of them, materialized only as
+  // flows hash in.
+  static constexpr std::size_t kChunkBuckets = 64;
+
+  // The chunk directory holds raw array pointers *by value* (a "bank"),
+  // not pointers to chunk objects: the hot path's lookup is one load
+  // from a ~1 KB always-hot directory plus the entry index — the same
+  // depth as the old monolithic array, laziness costing one extra load
+  // instead of two.
+  struct Bank {
+    FlowEntry* entries = nullptr;  // n_buckets-in-chunk * ways
+    FlowEntry** chain = nullptr;   // per-bucket overflow chain head
+  };
+
+  std::size_t bucket_of(std::uint32_t vfid, int egress, int prio) const;
+  Bank& bank_for(std::size_t bucket);            // materializes
+  std::size_t chunk_buckets(std::size_t ci) const;
+  void ensure_overflow();
+
+  std::vector<Bank> banks_;           // chunk directory
+  std::vector<std::unique_ptr<FlowEntry[]>> entry_blocks_;   // owned slabs
+  std::vector<std::unique_ptr<FlowEntry*[]>> chain_blocks_;
+  std::vector<FlowEntry> overflow_;   // shared spare pool (lazy)
   FlowEntry* free_overflow_ = nullptr;
   int ways_;
   std::size_t n_buckets_;
+  std::size_t overflow_slots_;
+  bool overflow_init_ = false;
   std::size_t live_ = 0;
   std::int64_t rejects_ = 0;
 };

@@ -14,8 +14,10 @@ namespace {
 // capacity (the upper end of Fig. 1's surveyed buffer/capacity ratios).
 constexpr double kBufferSecPerCapacity = 30e-6;
 
-Time path_one_way(const std::vector<Hop>& path, const TopoGraph& topo,
-                  int probe_bytes) {
+// Templated over the hop container: the run-time cache is a HopVec, the
+// post-run ideal-FCT reference still walks a std::vector from route().
+template <typename Path>
+Time path_one_way(const Path& path, const TopoGraph& topo, int probe_bytes) {
   Time t = 0;
   for (const Hop& h : path) {
     const PortInfo& link = topo.ports(h.node)[static_cast<std::size_t>(h.port)];
@@ -24,7 +26,8 @@ Time path_one_way(const std::vector<Hop>& path, const TopoGraph& topo,
   return t;
 }
 
-double path_min_rate_bps(const std::vector<Hop>& path, const TopoGraph& topo) {
+template <typename Path>
+double path_min_rate_bps(const Path& path, const TopoGraph& topo) {
   double r = -1;
   for (const Hop& h : path) {
     const PortInfo& link = topo.ports(h.node)[static_cast<std::size_t>(h.port)];
@@ -94,12 +97,16 @@ Flow* Network::make_flow(const FlowKey& key, std::uint64_t bytes,
       (f->bytes + kPayloadBytes - 1) / kPayloadBytes);
   f->incast = incast;
   f->vfid = vfid_of(key, static_cast<std::uint32_t>(params_.n_vfids));
-  f->path = topo_.route(key);
-  if (params_.acks_in_data) {
-    const FlowKey rkey{key.dst, key.src, key.dst_port, key.src_port};
-    f->rpath = topo_.route(rkey);
-    f->rvfid = vfid_of(rkey, static_cast<std::uint32_t>(params_.n_vfids));
-  }
+  // No route, no RTT, no CC state here: everything derived from the path
+  // resolves on demand (resolve_flow / resolve_reverse_route), so a
+  // prepared trace is identity bytes only.
+  flows_.emplace(uid, std::move(owned));
+  return f;
+}
+
+void Network::resolve_flow(Flow* f) {
+  if (!f->path.empty()) return;
+  topo_.route_into(f->key, f->path);
   f->ack_lat = path_one_way(f->path, topo_, kAckWireBytes);
   f->base_rtt = path_one_way(f->path, topo_, kMtuWireBytes) + f->ack_lat;
   const double line = path_min_rate_bps(f->path, topo_);
@@ -116,8 +123,14 @@ Flow* Network::make_flow(const FlowKey& key, std::uint64_t bytes,
                               ? microseconds(30)
                               : (params_.bfc ? milliseconds(1)
                                              : microseconds(100)));
-  flows_.emplace(uid, std::move(owned));
-  return f;
+}
+
+void Network::resolve_reverse_route(Flow* f) {
+  if (!f->rpath.empty()) return;
+  const FlowKey rkey{f->key.dst, f->key.src, f->key.dst_port,
+                     f->key.src_port};
+  topo_.route_into(rkey, f->rpath);
+  f->rvfid = vfid_of(rkey, static_cast<std::uint32_t>(params_.n_vfids));
 }
 
 void Network::start_flow(const FlowKey& key, std::uint64_t bytes,
@@ -199,6 +212,20 @@ SwitchTotals Network::switch_totals() const {
     t.pfc_pauses_sent += sw->totals().pfc_pauses_sent;
     t.pfc_resumes_sent += sw->totals().pfc_resumes_sent;
     t.drops += sw->totals().drops;
+  }
+  return t;
+}
+
+NicStats Network::nic_totals() const {
+  NicStats t;
+  for (const Nic* nic : nic_list_) {
+    const NicStats& s = nic->stats();
+    t.rto_fires += s.rto_fires;
+    t.data_retx += s.data_retx;
+    t.pkts_sent += s.pkts_sent;
+    t.delivered_payload += s.delivered_payload;
+    t.acks_data_path += s.acks_data_path;
+    t.acks_deferred += s.acks_deferred;
   }
   return t;
 }

@@ -40,11 +40,22 @@ class Network {
   void start_flow(const FlowKey& key, std::uint64_t bytes, std::uint64_t uid,
                   bool incast = false);
 
-  // Trace-driven start (the engine path used by run_experiment): derives
-  // the flow now and activates it at `at` on the sender's shard. Must be
-  // called before run_until().
+  // Trace-driven start (the engine path used by run_experiment): records
+  // the flow's identity now and activates it at `at` on the sender's
+  // shard. Deliberately does NOT resolve a route or derive RTT/CC state —
+  // preparing a trace on a 16384-host fabric costs identity bytes only;
+  // resolution happens at activation (resolve_flow). Must be called
+  // before run_until().
   void prepare_flow(const FlowKey& key, std::uint64_t bytes,
                     std::uint64_t uid, bool incast, Time at);
+
+  // On-demand resolution, idempotent. resolve_flow fills the forward hop
+  // cache and the derived unloaded-RTT / congestion-control / RTO state;
+  // the source NIC calls it at activation (first send), on its own
+  // shard. resolve_reverse_route fills the reverse hop cache + VFID; the
+  // destination NIC calls it at the first ack under `acks_in_data`.
+  void resolve_flow(Flow* f);
+  void resolve_reverse_route(Flow* f);
 
   const std::vector<Switch*>& switches() const { return switch_list_; }
   const std::vector<Nic*>& nics() const { return nic_list_; }
@@ -55,6 +66,8 @@ class Network {
   BfcTotals bfc_totals() const;
   SwitchTotals switch_totals() const;
   double collision_frac() const;
+  // Summed NIC counters (ack-uplink arbitration telemetry among them).
+  NicStats nic_totals() const;
 
   // Unloaded flow-completion time of (key, bytes): the FCT-slowdown
   // denominator.

@@ -24,6 +24,10 @@ Nic::Nic(Network& net, int node) : Device(net, node) {
 }
 
 void Nic::add_flow(Flow* f) {
+  // On-demand resolution (idempotent): the route, unloaded RTT, CC seed
+  // and RTO all materialize here — at activation on this (the source
+  // NIC's) shard — not at prepare time.
+  net_.resolve_flow(f);
   f->last_progress = shard_->now();
   index_.add(f, shard_->now());
   arm_rto(f);
@@ -36,6 +40,11 @@ void Nic::ev_flow_start(Event& e) {
 
 void Nic::kick() {
   if (busy_ || pfc_paused_) return;
+  // Uplink arbitration (acks_in_data): pending acks share the egress with
+  // data and go first — they are 64 B frames acking MTU-scale packets, so
+  // strict ack priority costs data almost nothing while keeping the ack
+  // clock honest under load.
+  if (!ack_q_.empty() && send_queued_ack()) return;
   Flow* f = index_.pop_eligible();
   if (f == nullptr) {
     // Nothing ready: wake when the earliest pacing gate opens.
@@ -102,7 +111,12 @@ void Nic::send_packet(Flow* f, std::uint32_t seq, bool retx) {
       now + static_cast<Time>(static_cast<double>(pkt.wire) * 8e9 /
                               std::max(f->rate_bps, 1e6));
 
+  transmit(pkt);
+}
+
+void Nic::transmit(const Packet& pkt) {
   busy_ = true;
+  const Time now = shard_->now();
   const Time ser = link_.rate.time_to_send(pkt.wire);
   {
     Event* e = shard_->make(node_, now + ser);
@@ -189,8 +203,10 @@ void Nic::send_ack(Flow* f, const AckInfo& ack) {
   }
   // Reverse-path contention model: the ack is a real 64 B packet queued
   // through the fabric's data queues (keyed by the reverse-direction
-  // VFID). The host uplink's serialization is paid but not arbitrated —
-  // the interesting contention is at the switches.
+  // VFID), and the host uplink itself is arbitrated — the ack joins the
+  // NIC's egress queue and serializes through the same busy/tx-done pacer
+  // as data (kick() services acks first).
+  net_.resolve_reverse_route(f);  // receiver-side, on first ack
   Packet apk;
   apk.flow = f;
   apk.is_ack = true;
@@ -203,43 +219,39 @@ void Nic::send_ack(Flow* f, const AckInfo& ack) {
   apk.ts = ack.ts;
   apk.wire = kAckWireBytes;
   apk.hop = 1;  // next transmitter: this host's ToR, on the reverse path
-  // Acks on the data path honor backpressure like any other packet: a
-  // PFC-paused uplink or a BFC pause of the reverse VFID holds them here
-  // until the next snapshot/PFC update releases them.
-  if (pfc_paused_ ||
-      (net_.params().bfc && pause_bits_ &&
-       bloom_snapshot_contains(*pause_bits_, apk.vfid,
-                               net_.params().bloom_hashes))) {
-    ack_q_.push_back(apk);
-    return;
+  ack_q_.push_back(apk);
+  kick();
+  // Deferred = this ack did not go out with that kick. kick() only ever
+  // removes queue entries, so the new ack — pushed at the back — is
+  // still waiting iff the back entry is still it (an earlier ack may
+  // have taken the uplink instead; a paused backlog it overtook does
+  // not count).
+  if (!ack_q_.empty() && ack_q_.back().flow == apk.flow &&
+      ack_q_.back().seq == apk.seq && ack_q_.back().cum == apk.cum) {
+    ++stats_.acks_deferred;
   }
-  transmit_ack(apk);
 }
 
-void Nic::transmit_ack(const Packet& apk) {
-  Event* e = shard_->make(node_, shard_->now() +
-                                     link_.rate.time_to_send(apk.wire) +
-                                     link_.delay);
-  e->fn = &Network::ev_deliver;
-  e->obj = net_.device(link_.peer);
-  e->put_packet(shard_->pack(apk), link_.peer_port);
-  shard_->post(e, link_.peer);
-}
-
-void Nic::flush_acks() {
-  if (ack_q_.empty() || pfc_paused_) return;
+// Pops the first ack whose reverse VFID is not pause-gated and puts it on
+// the wire, occupying the uplink for its serialization time. Returns
+// whether a transmission started (the caller's kick then stops — the
+// tx-done event re-kicks).
+bool Nic::send_queued_ack() {
   const NetParams& p = net_.params();
-  for (std::size_t i = 0; i < ack_q_.size();) {
-    if (p.bfc && pause_bits_ &&
-        bloom_snapshot_contains(*pause_bits_, ack_q_[i].vfid,
-                                p.bloom_hashes)) {
-      ++i;  // this reverse VFID is still paused
-      continue;
+  std::size_t i = 0;
+  for (; i < ack_q_.size(); ++i) {
+    if (!(p.bfc && pause_bits_ &&
+          bloom_snapshot_contains(*pause_bits_, ack_q_[i].vfid,
+                                  p.bloom_hashes))) {
+      break;
     }
-    const Packet apk = ack_q_[i];
-    ack_q_.erase(ack_q_.begin() + static_cast<std::ptrdiff_t>(i));
-    transmit_ack(apk);
   }
+  if (i == ack_q_.size()) return false;  // every pending ack is paused
+  const Packet apk = ack_q_[i];
+  ack_q_.erase(ack_q_.begin() + static_cast<std::ptrdiff_t>(i));
+  ++stats_.acks_data_path;
+  transmit(apk);
+  return true;
 }
 
 void Nic::ev_ack(Event& e) {
@@ -360,16 +372,12 @@ void Nic::on_bfc_snapshot(int /*egress_port*/,
                           std::shared_ptr<const BloomBits> bits) {
   pause_bits_ = std::move(bits);
   index_.on_snapshot(pause_bits_, shard_->now());
-  flush_acks();
-  kick();
+  kick();  // services newly-unpaused acks first, then data
 }
 
 void Nic::on_pfc(int /*egress_port*/, bool paused) {
   pfc_paused_ = paused;
-  if (!paused) {
-    flush_acks();
-    kick();
-  }
+  if (!paused) kick();
 }
 
 }  // namespace bfc

@@ -5,18 +5,23 @@
 // here and gate individual flows; PFC gates the whole uplink. All NIC
 // events run on the NIC's shard; acks either ride the contention-free
 // control channel (default) or, under `acks_in_data`, real reverse-path
-// packets through the fabric queues.
+// packets through the fabric queues — and then they share the uplink with
+// data: every frame, ack or data, serializes through the same egress
+// pacer (acks first, they are 64 B), so a busy sender delays its own acks
+// the way real reverse-path contention would.
 //
 // Sending is driven by the eligible-flow index (core/flow_index.hpp): a
 // kick pops the next ready flow in O(1) instead of re-scanning the whole
 // active list, and receiver bookkeeping is slab-allocated lazily on the
 // first data arrival (core/receiver_slab.hpp) so flow setup costs no
-// receiver memory.
+// receiver memory. A flow's route (and everything derived from it)
+// resolves on activation via Network::resolve_flow — a prepared flow
+// owns no route.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <vector>
 
 #include "core/flow_index.hpp"
 #include "core/packet.hpp"
@@ -33,6 +38,10 @@ struct NicStats {
   std::int64_t data_retx = 0;
   std::int64_t pkts_sent = 0;
   std::int64_t delivered_payload = 0;  // fresh payload bytes received here
+  std::int64_t acks_data_path = 0;     // acks transmitted via the uplink
+                                       // pacer (acks_in_data only)
+  std::int64_t acks_deferred = 0;      // acks that had to wait for the
+                                       // uplink (busy / paused / queued)
 };
 
 class Nic : public Device {
@@ -68,18 +77,24 @@ class Nic : public Device {
 
   void kick();
   void arm_wake(Time now);
+  // The one way onto the wire: occupies the uplink for `pkt`'s
+  // serialization time (busy_ until ev_tx_done) and schedules delivery
+  // at the peer. Data and acks_in_data acks both serialize through
+  // here, which is what makes the uplink arbitration real.
+  void transmit(const Packet& pkt);
   void send_packet(Flow* f, std::uint32_t seq, bool retx);
   void arm_rto(Flow* f);
   void fire_rto(Flow* f, int gen);
   void receive_data(const Packet& pkt);
   void send_ack(Flow* f, const AckInfo& ack);
-  void transmit_ack(const Packet& apk);
-  void flush_acks();
+  bool send_queued_ack();     // pops + serializes the next sendable ack
 
   PortInfo link_;
   FlowIndex index_;           // sender: eligible/blocked flow sets
   ReceiverSlab rcv_slab_;     // receiver: lazy per-flow state
-  std::deque<Packet> ack_q_;  // acks_in_data: held while pause-gated
+  // acks_in_data: acks awaiting the uplink (arbitration) or a pause
+  // release. A flat vector so an idle NIC owns no ack-queue heap.
+  std::vector<Packet> ack_q_;
   bool busy_ = false;
   bool pfc_paused_ = false;
   std::shared_ptr<const BloomBits> pause_bits_;

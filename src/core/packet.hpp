@@ -5,10 +5,12 @@
 // is cheap and safe.
 //
 // Sharded-engine field discipline (see docs/ARCHITECTURE.md): a Flow's
-// identity fields are immutable after setup, its sender state is only
-// touched by the source NIC's shard and its receiver state only by the
-// destination NIC's shard — that disjointness is what lets a flow span two
-// shards without locks.
+// identity fields are immutable after setup, its sender state (including
+// the lazily-resolved forward route cache) is only touched by the source
+// NIC's shard and its receiver state (including the reverse route cache)
+// only by the destination NIC's shard — that disjointness is what lets a
+// flow span two shards without locks, and the shard barrier orders the
+// one-time route writes before any downstream read.
 #pragma once
 
 #include <cstdint>
@@ -64,15 +66,24 @@ class RetxQueue {
 };
 
 struct Flow {
-  // Identity, fixed at start_flow().
+  // Identity, fixed at prepare time (cheap: no route, no heap).
   std::uint64_t uid = 0;
   FlowKey key;
   std::uint64_t bytes = 0;       // payload bytes to transfer
   std::uint32_t total_pkts = 0;
   bool incast = false;
   std::uint32_t vfid = 0;
-  std::vector<Hop> path;         // one entry per transmitting device
-  std::vector<Hop> rpath;        // reverse path (acks_in_data only)
+
+  // Route cache, resolved on demand — a prepared-but-never-activated
+  // flow owns no route. `path` (plus the derived RTT/CC/RTO fields
+  // below) is filled by Network::resolve_flow on the *source* NIC's
+  // shard at activation, before the first packet is posted; `rpath` and
+  // `rvfid` by Network::resolve_reverse_route on the *destination*
+  // NIC's shard at the first ack (acks_in_data only). Downstream
+  // switches only read these after a packet/ack was posted across the
+  // shard barrier, so the writes happen-before every read.
+  HopVec path;                   // one entry per transmitting device
+  HopVec rpath;                  // reverse path (acks_in_data only)
   std::uint32_t rvfid = 0;       // VFID of the reverse direction
   Time base_rtt = 0;             // unloaded round trip
   Time ack_lat = 0;              // receiver -> sender control latency

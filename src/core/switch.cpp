@@ -15,6 +15,11 @@ constexpr Time kTau = microseconds(1);
 // Pause-state refresh period (Section 3.6: frames are idempotent and
 // periodically retransmitted, so losing any one frame is harmless).
 constexpr Time kRefresh = microseconds(5);
+// A quiescent port's slab state is released once the port has sat idle
+// this long: comfortably past any pause-feedback transient, so reclaim
+// never races active traffic, while a long-lived hot port is materialized
+// exactly once.
+constexpr Time kReclaimHorizon = microseconds(100);
 // ECN marking ramp, expressed in time-at-line-rate of the egress port.
 constexpr double kEcnKminSec = 5e-6;
 constexpr double kEcnKmaxSec = 20e-6;
@@ -28,38 +33,73 @@ constexpr double kIntHorizonSec = 8e-6;
 // acks_in_data) now share bytes, not packets.
 constexpr std::int64_t kDrrQuantum = kMtuWireBytes;
 
+bool bloom_bits_empty(const BloomBits& bits) {
+  for (const std::uint64_t w : bits) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Switch::Switch(Network& net, int node, std::int64_t buffer_cap)
     : Device(net, node),
       buffer_cap_(buffer_cap),
+      ports_(&net.topo().ports(node)),
       table_(net.params().n_vfids, 4,
              std::max(64, net.params().n_vfids / 16)) {
   const NetParams& p = net_.params();
-  const auto& ports = net_.topo().ports(node);
   const bool use_table = p.bfc || p.sfq;
-  const int base_queues =
-      p.pfabric || p.per_flow_fq ? 0 : (use_table ? p.n_queues : 1);
-  egress_.resize(ports.size());
-  ingress_.resize(ports.size());
-  for (std::size_t i = 0; i < ports.size(); ++i) {
-    Egress& eg = egress_[i];
-    eg.link = ports[i];
-    eg.dq.resize(static_cast<std::size_t>(base_queues));
-    eg.dq_occ.assign(static_cast<std::size_t>(base_queues + 63) / 64, 0);
-    eg.head_gen.assign(static_cast<std::size_t>(base_queues), 0);
-    eg.head_vfid.assign(static_cast<std::size_t>(base_queues), 0);
-    eg.head_paused.assign(static_cast<std::size_t>(base_queues), 0);
-    eg.dq_flows.assign(static_cast<std::size_t>(base_queues), 0);
-    eg.deficit.assign(static_cast<std::size_t>(base_queues), 0);
-    eg.q_entries.assign(static_cast<std::size_t>(base_queues), nullptr);
-    eg.resume.resize(static_cast<std::size_t>(base_queues));
+  base_queues_ = p.pfabric || p.per_flow_fq ? 0 : (use_table ? p.n_queues : 1);
+  // Port directories only: the per-port Egress/Ingress slabs materialize
+  // on first touch (ensure_egress / ensure_ingress), and the BFC refresh
+  // timer arms on the first dirty snapshot — an idle switch schedules
+  // nothing and owns nothing beyond these null directories.
+  egress_.resize(ports_->size());
+  ingress_.resize(ports_->size());
+  saved_rr_.assign(ports_->size(), 0);
+  pfc_quota_ = buffer_cap_ / static_cast<std::int64_t>(ports_->size());
+}
 
-    Ingress& in = ingress_[i];
-    const Time hrtt = 2 * ports[i].delay + kTau;
+Switch::Egress& Switch::ensure_egress(int port) {
+  std::unique_ptr<Egress>& slot = egress_[static_cast<std::size_t>(port)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Egress>();
+    Egress& eg = *slot;
+    eg.link = port_link(port);
+    eg.port = port;
+    eg.last_active = shard_->now();
+    const auto n = static_cast<std::size_t>(base_queues_);
+    eg.dq.resize(n);
+    eg.dq_occ.assign((n + 63) / 64, 0);
+    eg.head_gen.assign(n, 0);
+    eg.head_vfid.assign(n, 0);
+    eg.head_paused.assign(n, 0);
+    eg.dq_flows.assign(n, 0);
+    eg.deficit.assign(n, 0);
+    eg.q_entries.assign(n, nullptr);
+    eg.resume.resize(n);
+    // Restore the RR/DRR scan pointer saved by the last reclaim, so the
+    // slab round trip is invisible to scheduling (always < base_queues_
+    // for the fixed-queue schemes; dynamic-queue schemes never reclaim).
+    eg.rr = saved_rr_[static_cast<std::size_t>(port)];
+    arm_reclaim();
+  }
+  return *slot;
+}
+
+Switch::Ingress& Switch::ensure_ingress(int port) {
+  std::unique_ptr<Ingress>& slot = ingress_[static_cast<std::size_t>(port)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Ingress>();
+    Ingress& in = *slot;
+    const NetParams& p = net_.params();
+    const PortInfo& link = port_link(port);
+    in.last_active = shard_->now();
+    const Time hrtt = 2 * link.delay + kTau;
     in.hrtt = hrtt;
     in.horizon_bytes = static_cast<std::int64_t>(
-        ports[i].rate.bytes_per_sec() * to_sec(hrtt) * p.hrtt_scale);
+        link.rate.bytes_per_sec() * to_sec(hrtt) * p.hrtt_scale);
     if (in.horizon_bytes < 2 * kMtuWireBytes) {
       in.horizon_bytes = 2 * kMtuWireBytes;
     }
@@ -67,24 +107,38 @@ Switch::Switch(Network& net, int node, std::int64_t buffer_cap)
       in.bloom = std::make_unique<CountingBloom>(p.bloom_bytes,
                                                  p.bloom_hashes);
     }
+    arm_reclaim();
   }
-  pfc_quota_ = buffer_cap_ / static_cast<std::int64_t>(ports.size());
-  if (p.bfc) {
-    Event* e = shard_->make(node_, kRefresh);
-    e->fn = &Switch::ev_refresh;
-    e->obj = this;
-    shard_->post_local(e);
-  }
+  return *slot;
+}
+
+std::size_t Switch::live_egress_ports() const {
+  std::size_t n = 0;
+  for (const auto& eg : egress_) n += (eg != nullptr);
+  return n;
+}
+
+std::size_t Switch::live_ingress_ports() const {
+  std::size_t n = 0;
+  for (const auto& in : ingress_) n += (in != nullptr);
+  return n;
 }
 
 int Switch::num_data_queues() const {
-  return egress_.empty() ? 0 : static_cast<int>(egress_[0].dq.size());
+  // Ideal-FQ grows a port's queue set dynamically; report the widest
+  // materialized port so telemetry loops cover every live queue.
+  int n = base_queues_;
+  for (const auto& eg : egress_) {
+    if (eg != nullptr) n = std::max(n, static_cast<int>(eg->dq.size()));
+  }
+  return n;
 }
 
 std::int64_t Switch::data_queue_bytes(int port, int q) const {
-  const Egress& eg = egress_[static_cast<std::size_t>(port)];
-  if (q < 0 || static_cast<std::size_t>(q) >= eg.dq.size()) return 0;
-  return eg.dq[static_cast<std::size_t>(q)].bytes();
+  const Egress* eg = egress_[static_cast<std::size_t>(port)].get();
+  if (eg == nullptr) return 0;
+  if (q < 0 || static_cast<std::size_t>(q) >= eg->dq.size()) return 0;
+  return eg->dq[static_cast<std::size_t>(q)].bytes();
 }
 
 void Switch::push_dq(Egress& eg, PacketArena& arena, int q,
@@ -131,17 +185,20 @@ int Switch::next_occupied(const Egress& eg, int from) {
 }
 
 int Switch::occupied_queues(int port) const {
-  const Egress& eg = egress_[static_cast<std::size_t>(port)];
+  const Egress* eg = egress_[static_cast<std::size_t>(port)].get();
+  if (eg == nullptr) return 0;
   int n = 0;
-  for (const PacketFifo& q : eg.dq) n += (q.bytes() > 0);
+  for (const PacketFifo& q : eg->dq) n += (q.bytes() > 0);
   return n;
 }
 
 std::int64_t Switch::paused_ns_toward(NodeTier peer_tier, Time now) const {
-  std::int64_t ns = 0;
-  for (const Egress& eg : egress_) {
-    if (net_.topo().tier_of(eg.link.peer) != peer_tier) continue;
-    ns += eg.pfc_ns + (eg.peer_pfc_paused ? now - eg.pfc_since : 0);
+  std::int64_t ns = reclaimed_pfc_ns_[static_cast<int>(peer_tier)];
+  for (const auto& slot : egress_) {
+    const Egress* eg = slot.get();
+    if (eg == nullptr) continue;
+    if (net_.topo().tier_of(eg->link.peer) != peer_tier) continue;
+    ns += eg->pfc_ns + (eg->peer_pfc_paused ? now - eg->pfc_since : 0);
   }
   return ns;
 }
@@ -152,20 +209,23 @@ void Switch::arrive(Packet& pkt, int in_port) {
                                : pkt.flow->path)[static_cast<std::size_t>(
       pkt.hop)];
   const int eg_port = hop.port;
-  Egress& eg = egress_[static_cast<std::size_t>(eg_port)];
-
+  // Drop check before slab materialization: a packet refused at the
+  // shared buffer must not cost its egress port a queue-array slab (or a
+  // reclaim event) it would never use.
   if (!p.inf_buffer && buffer_used_ + pkt.wire > buffer_cap_) {
     ++totals_.drops;
     return;
   }
   pkt.buf_in = in_port;
-  enqueue(eg, eg_port, pkt, in_port);
+  enqueue(ensure_egress(eg_port), eg_port, pkt, in_port);
 }
 
 void Switch::enqueue(Egress& eg, int eg_port, Packet& pkt, int in_port) {
   const NetParams& p = net_.params();
-  Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
+  Ingress& in = ensure_ingress(in_port);
   const std::uint32_t vfid = pkt.vfid;
+  eg.last_active = shard_->now();
+  in.last_active = eg.last_active;
 
   // Feedback stamps happen before the packet is stored. Acks carry the
   // forward path's echoes — never restamp them with reverse-path state.
@@ -197,8 +257,7 @@ void Switch::enqueue(Egress& eg, int eg_port, Packet& pkt, int in_port) {
       eg.srpt_bytes -= victim.wire;
       eg.port_bytes -= victim.wire;
       buffer_used_ -= victim.wire;
-      ingress_[static_cast<std::size_t>(victim.buf_in)].resident_bytes -=
-          victim.wire;
+      live_ingress(victim.buf_in).resident_bytes -= victim.wire;
       ++totals_.drops;
       eg.srpt.erase(worst);
     }
@@ -239,6 +298,7 @@ void Switch::enqueue(Egress& eg, int eg_port, Packet& pkt, int in_port) {
       ++bfc_totals_.pauses;
       in.bloom->add(vfid);
       in.snapshot_dirty = true;
+      arm_refresh();
       send_snapshot(in_port);
     }
     // Data arriving for a freshly-resumed flow completes its resume: the
@@ -413,13 +473,15 @@ int Switch::pick_data_queue(Egress& eg) {
 void Switch::ev_tx_done(Event& e) {
   auto* sw = static_cast<Switch*>(e.obj);
   const std::int32_t port = e.u.misc.i1;
-  sw->egress_[static_cast<std::size_t>(port)].busy = false;
+  sw->egress_[static_cast<std::size_t>(port)]->busy = false;
   sw->kick(port);
 }
 
 void Switch::kick(int eg_port) {
   const NetParams& p = net_.params();
-  Egress& eg = egress_[static_cast<std::size_t>(eg_port)];
+  Egress* egp = egress_[static_cast<std::size_t>(eg_port)].get();
+  if (egp == nullptr) return;
+  Egress& eg = *egp;
   if (eg.busy || eg.peer_pfc_paused) return;
 
   // The dequeued fifo node is reused end-to-end: bookkeeping reads it,
@@ -442,10 +504,13 @@ void Switch::kick(int eg_port) {
   }
   Packet& pkt = node->pkt;
 
+  const Time now = shard_->now();
+  eg.last_active = now;
   eg.port_bytes -= pkt.wire;
   buffer_used_ -= pkt.wire;
-  Ingress& in = ingress_[static_cast<std::size_t>(pkt.buf_in)];
+  Ingress& in = live_ingress(pkt.buf_in);  // resident packet pins it
   in.resident_bytes -= pkt.wire;
+  in.last_active = now;
   maybe_pfc(pkt.buf_in);
 
   if (from_q >= 0) {
@@ -461,7 +526,6 @@ void Switch::kick(int eg_port) {
   }
 
   eg.busy = true;
-  const Time now = shard_->now();
   const Time ser = eg.link.rate.time_to_send(pkt.wire);
   {
     Event* e = shard_->make(node_, now + ser);
@@ -480,8 +544,7 @@ void Switch::kick(int eg_port) {
 }
 
 void Switch::after_dequeue_bfc(Egress& eg, const Packet& pkt) {
-  FlowEntry* e = table_.find(pkt.vfid,
-                             static_cast<int>(&eg - egress_.data()), 0);
+  FlowEntry* e = table_.find(pkt.vfid, eg.port, 0);
   if (e == nullptr) return;
   --e->pkts;
   scan_resumes(eg, e->queue);
@@ -511,7 +574,7 @@ void Switch::scan_resumes(Egress& eg, int q) {
   for (FlowEntry* c = eg.q_entries[static_cast<std::size_t>(q)];
        c != nullptr; c = c->q_next) {
     if (!c->paused || c->resume_pending) continue;
-    const Ingress& cin = ingress_[static_cast<std::size_t>(c->in_port)];
+    const Ingress& cin = live_ingress(c->in_port);  // paused entry pins it
     // The pause belongs to the queue's occupancy, not the flow's own
     // residue: even a fully-drained flow stays paused while the shared
     // queue sits above the horizon (when the queue empties, qb is 0 and
@@ -526,11 +589,11 @@ void Switch::scan_resumes(Egress& eg, int q) {
 void Switch::request_resume(Egress& eg, FlowEntry* e) {
   e->resume_pending = true;
   eg.resume[static_cast<std::size_t>(e->queue)].pending.push_back(e);
-  pump_resumes(static_cast<int>(&eg - egress_.data()), e->queue);
+  pump_resumes(eg.port, e->queue);
 }
 
 void Switch::pump_resumes(int eg_port, int q) {
-  Egress& eg = egress_[static_cast<std::size_t>(eg_port)];
+  Egress& eg = *egress_[static_cast<std::size_t>(eg_port)];
   QueueResume& qr = eg.resume[static_cast<std::size_t>(q)];
   const NetParams& p = net_.params();
   if (!p.resume_limit) {
@@ -550,7 +613,7 @@ void Switch::pump_resumes(int eg_port, int q) {
     // it). Without this re-check the limiter merely delays the same
     // aggregate inrush instead of capping it.
     if (eg.dq[static_cast<std::size_t>(e->queue)].bytes() >=
-        ingress_[static_cast<std::size_t>(e->in_port)].horizon_bytes) {
+        live_ingress(e->in_port).horizon_bytes) {
       e->resume_pending = false;
       continue;
     }
@@ -568,35 +631,36 @@ void Switch::free_resume_slot(Egress& eg, FlowEntry* e) {
   e->holds_resume_slot = false;
   const int q = e->queue;
   --eg.resume[static_cast<std::size_t>(q)].outstanding;
-  pump_resumes(static_cast<int>(&eg - egress_.data()), q);
+  pump_resumes(eg.port, q);
 }
 
 void Switch::do_resume(FlowEntry* e) {
   const int in_port = e->in_port;
-  Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
+  Ingress& in = live_ingress(in_port);  // its bloom holds the paused VFID
   e->resume_pending = false;
   if (!e->paused) return;
   e->paused = false;
-  --egress_[static_cast<std::size_t>(e->egress)]
-        .resume[static_cast<std::size_t>(e->queue)]
-        .paused;
+  Egress& eeg = *egress_[static_cast<std::size_t>(e->egress)];
+  --eeg.resume[static_cast<std::size_t>(e->queue)].paused;
   ++bfc_totals_.resumes;
   in.bloom->remove(e->vfid);
   in.snapshot_dirty = true;
+  in.last_active = shard_->now();
+  arm_refresh();
   send_snapshot(in_port);
   if (e->pkts == 0) {
-    release_queue(egress_[static_cast<std::size_t>(e->egress)], e);
+    release_queue(eeg, e);
     table_.erase(e);
   }
 }
 
 void Switch::send_snapshot(int in_port) {
-  Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
+  Ingress& in = ensure_ingress(in_port);
   // A corrupted frame keeps the dirty bit so the periodic refresh
   // retransmits it — even when the update was "bloom went empty".
   if (net_.roll_ctrl_loss(node_)) return;
   in.snapshot_dirty = false;
-  const PortInfo& link = egress_[static_cast<std::size_t>(in_port)].link;
+  const PortInfo& link = port_link(in_port);
   Event* e = shard_->make(node_, shard_->now() + link.delay);
   e->fn = &Network::ev_snapshot;
   e->obj = net_.device(link.peer);
@@ -610,27 +674,41 @@ void Switch::ev_refresh(Event& e) {
   static_cast<Switch*>(e.obj)->periodic_refresh();
 }
 
-void Switch::periodic_refresh() {
-  for (std::size_t i = 0; i < ingress_.size(); ++i) {
-    Ingress& in = ingress_[i];
-    if (in.bloom && (!in.bloom->empty() || in.snapshot_dirty)) {
-      send_snapshot(static_cast<int>(i));
-    }
-  }
+// Armed on the first dirty snapshot instead of unconditionally at
+// construction: an idle BFC switch schedules no periodic work at all,
+// and the refresh stops re-arming once every ingress bloom is empty and
+// clean (the next pause re-arms it).
+void Switch::arm_refresh() {
+  if (refresh_armed_ || !net_.params().bfc) return;
+  refresh_armed_ = true;
   Event* e = shard_->make(node_, shard_->now() + kRefresh);
   e->fn = &Switch::ev_refresh;
   e->obj = this;
   shard_->post_local(e);
 }
 
+void Switch::periodic_refresh() {
+  refresh_armed_ = false;
+  bool live = false;
+  for (std::size_t i = 0; i < ingress_.size(); ++i) {
+    Ingress* in = ingress_[i].get();
+    if (in == nullptr || in->bloom == nullptr) continue;
+    if (!in->bloom->empty() || in->snapshot_dirty) {
+      live = true;
+      send_snapshot(static_cast<int>(i));
+    }
+  }
+  if (live) arm_refresh();
+}
+
 void Switch::maybe_pfc(int in_port) {
   const NetParams& p = net_.params();
   if (!p.pfc) return;
-  Ingress& in = ingress_[static_cast<std::size_t>(in_port)];
+  Ingress& in = ensure_ingress(in_port);
   const std::int64_t hi =
       std::max<std::int64_t>(2 * in.horizon_bytes, pfc_quota_ / 2);
   const std::int64_t lo = hi / 2;
-  const PortInfo& link = egress_[static_cast<std::size_t>(in_port)].link;
+  const PortInfo& link = port_link(in_port);
   if (!in.pfc_sent && in.resident_bytes > hi) {
     in.pfc_sent = true;
     ++totals_.pfc_pauses_sent;
@@ -649,16 +727,18 @@ void Switch::maybe_pfc(int in_port) {
 
 void Switch::on_bfc_snapshot(int egress_port,
                              std::shared_ptr<const BloomBits> bits) {
-  Egress& eg = egress_[static_cast<std::size_t>(egress_port)];
+  Egress& eg = ensure_egress(egress_port);
   eg.pause_bits = std::move(bits);
   ++eg.pause_gen;  // invalidates the per-queue head-pause memo
+  eg.last_active = shard_->now();
   kick(egress_port);
 }
 
 void Switch::on_pfc(int egress_port, bool paused) {
-  Egress& eg = egress_[static_cast<std::size_t>(egress_port)];
+  Egress& eg = ensure_egress(egress_port);
   if (eg.peer_pfc_paused == paused) return;
   const Time now = shard_->now();
+  eg.last_active = now;
   if (paused) {
     eg.pfc_since = now;
   } else {
@@ -666,6 +746,85 @@ void Switch::on_pfc(int egress_port, bool paused) {
   }
   eg.peer_pfc_paused = paused;
   if (!paused) kick(egress_port);
+}
+
+// --- port-slab reclaim ------------------------------------------------------
+//
+// A materialized port that has sat fully quiescent past kReclaimHorizon
+// gives its slab back: queue arrays, DRR credits, resume limiters, Bloom
+// filter. Everything released is either scratch (memos, credits — all in
+// their canonical empty-port values by the quiescence conditions) or
+// reconstructed deterministically on the next materialization, so reclaim
+// changes memory, never results. One periodic sweep per switch, armed only
+// while any port is materialized.
+
+bool Switch::egress_quiescent(const Egress& eg) const {
+  // Ideal-FQ grows queues dynamically and recycles their ids through
+  // free_q; a rebuilt slab could not reproduce that assignment history,
+  // so dynamic-per-flow-queue ports are never reclaimed (the scheme only
+  // runs on small comparison fabrics anyway).
+  if (net_.params().per_flow_fq) return false;
+  if (eg.busy || eg.peer_pfc_paused || eg.port_bytes != 0) return false;
+  if (!eg.hpq.empty() || !eg.srpt.empty() || !eg.flow_q.empty()) return false;
+  for (const FlowEntry* h : eg.q_entries) {
+    if (h != nullptr) return false;  // live flow-table entries point here
+  }
+  for (const QueueResume& qr : eg.resume) {
+    if (qr.outstanding != 0 || qr.paused != 0 || !qr.pending.empty()) {
+      return false;
+    }
+  }
+  // A non-empty peer snapshot is real pause state: dropping it could let
+  // a paused VFID transmit. An empty (or absent) one carries nothing.
+  if (eg.pause_bits && !bloom_bits_empty(*eg.pause_bits)) return false;
+  return true;
+}
+
+bool Switch::ingress_quiescent(const Ingress& in) const {
+  if (in.resident_bytes != 0 || in.pfc_sent || in.snapshot_dirty) {
+    return false;
+  }
+  return in.bloom == nullptr || in.bloom->empty();
+}
+
+void Switch::arm_reclaim() {
+  if (reclaim_armed_) return;
+  reclaim_armed_ = true;
+  Event* e = shard_->make(node_, shard_->now() + kReclaimHorizon);
+  e->fn = &Switch::ev_reclaim;
+  e->obj = this;
+  shard_->post_local(e);
+}
+
+void Switch::ev_reclaim(Event& e) {
+  static_cast<Switch*>(e.obj)->reclaim_sweep();
+}
+
+void Switch::reclaim_sweep() {
+  reclaim_armed_ = false;
+  const Time now = shard_->now();
+  bool live = false;
+  for (std::size_t i = 0; i < egress_.size(); ++i) {
+    Egress* eg = egress_[i].get();
+    if (eg != nullptr && egress_quiescent(*eg) &&
+        now - eg->last_active >= kReclaimHorizon) {
+      // The scan pointer and PFC pause-time survive the slab: scheduling
+      // resumes exactly where it left off, pfc_fractions stays exact.
+      saved_rr_[i] = eg->rr;
+      reclaimed_pfc_ns_[static_cast<int>(
+          net_.topo().tier_of(eg->link.peer))] += eg->pfc_ns;
+      egress_[i].reset();
+      eg = nullptr;
+    }
+    Ingress* in = ingress_[i].get();
+    if (in != nullptr && ingress_quiescent(*in) &&
+        now - in->last_active >= kReclaimHorizon) {
+      ingress_[i].reset();
+      in = nullptr;
+    }
+    live = live || eg != nullptr || in != nullptr;
+  }
+  if (live) arm_reclaim();
 }
 
 }  // namespace bfc

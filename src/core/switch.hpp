@@ -15,8 +15,17 @@
 // Data queues are intrusive PacketFifos backed by the owning shard's
 // PacketArena, and all scheduling goes through pooled engine events — the
 // per-packet hot path allocates nothing.
+//
+// Per-port state is a lazily-initialized slab (same pattern as the NIC's
+// receiver slab): the Egress/Ingress structs — queue arrays, DRR credits,
+// resume limiters, Bloom filters — materialize on the first packet through
+// a port and are released again once the port has sat quiescent past a
+// reclaim horizon. Together with the chunked FlowTable this means an idle
+// switch owns directory vectors of null pointers and nothing else, which
+// is what lets a 16384-host fabric construct every device up front.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -63,8 +72,15 @@ class Switch : public Device {
   std::int64_t assignments() const { return assignments_; }
   std::int64_t collisions() const { return collisions_; }
   // PFC pause-time (ns) our egress ports spent paused, keyed by the peer
-  // node's tier; finalized up to `now`.
+  // node's tier; finalized up to `now`. Includes time accrued by ports
+  // whose state was since reclaimed.
   std::int64_t paused_ns_toward(NodeTier peer_tier, Time now) const;
+
+  // Lazy-slab introspection (idle-footprint assertions, reports).
+  std::size_t live_egress_ports() const;
+  std::size_t live_ingress_ports() const;
+  std::size_t table_entries() const { return table_.size(); }
+  std::size_t table_chunks() const { return table_.allocated_chunks(); }
 
   void arrive(Packet& pkt, int in_port) override;
   void on_bfc_snapshot(int egress_port,
@@ -86,6 +102,8 @@ class Switch : public Device {
 
   struct Egress {
     PortInfo link;
+    int port = -1;                        // own index (slab structs float)
+    Time last_active = 0;                 // reclaim clock
     PacketFifo hpq;
     std::vector<PacketFifo> dq;           // physical data queues
     std::vector<std::uint64_t> dq_occ;    // bitmap: dq[q] non-empty
@@ -113,6 +131,7 @@ class Switch : public Device {
   };
 
   struct Ingress {
+    Time last_active = 0;                   // reclaim clock
     std::unique_ptr<CountingBloom> bloom;   // paused VFIDs, this ingress
     std::int64_t horizon_bytes = 0;         // pause threshold for this link
     Time hrtt = 0;                          // pause-feedback round trip
@@ -123,6 +142,30 @@ class Switch : public Device {
 
   static void ev_tx_done(Event& e);         // obj=Switch, u.misc.i1=egress
   static void ev_refresh(Event& e);         // obj=Switch
+  static void ev_reclaim(Event& e);         // obj=Switch
+
+  // Slab access: ensure_* materializes on first touch (and arms the
+  // reclaim sweep); the egress_/ingress_ vectors hold null for every port
+  // traffic has not reached.
+  Egress& ensure_egress(int port);
+  Ingress& ensure_ingress(int port);
+  // Non-materializing accessor for paths where the ingress is pinned
+  // live (resident packets or a paused/tracked entry forbid reclaim):
+  // a reclaim-invariant bug fails loudly here instead of being masked
+  // by a silently re-zeroed slab.
+  Ingress& live_ingress(int port) {
+    Ingress* in = ingress_[static_cast<std::size_t>(port)].get();
+    assert(in != nullptr && "ingress slab reclaimed while pinned");
+    return *in;
+  }
+  const PortInfo& port_link(int port) const {
+    return (*ports_)[static_cast<std::size_t>(port)];
+  }
+  bool egress_quiescent(const Egress& eg) const;
+  bool ingress_quiescent(const Ingress& in) const;
+  void arm_reclaim();
+  void reclaim_sweep();
+  void arm_refresh();
 
   void enqueue(Egress& eg, int eg_port, Packet& pkt, int in_port);
   void kick(int eg_port);
@@ -149,8 +192,10 @@ class Switch : public Device {
 
   std::int64_t buffer_cap_;
   std::int64_t buffer_used_ = 0;
-  std::vector<Egress> egress_;
-  std::vector<Ingress> ingress_;
+  const std::vector<PortInfo>* ports_;      // topology port list (shared)
+  int base_queues_ = 0;                     // data queues per egress port
+  std::vector<std::unique_ptr<Egress>> egress_;
+  std::vector<std::unique_ptr<Ingress>> ingress_;
   FlowTable table_;
   SwitchTotals totals_;
   BfcTotals bfc_totals_;
@@ -158,6 +203,15 @@ class Switch : public Device {
   std::int64_t assignments_ = 0;
   std::int64_t collisions_ = 0;
   std::int64_t pfc_quota_ = 0;
+  bool refresh_armed_ = false;              // BFC snapshot refresh pending
+  bool reclaim_armed_ = false;              // port-slab sweep pending
+  // Result-bearing scraps that survive a port-slab reclaim, so releasing
+  // and re-materializing a port is invisible to the simulation: the
+  // RR/DRR scan pointer per port (service order would otherwise restart
+  // at queue 0 after an idle gap), and PFC pause-time folded per peer
+  // tier (pfc_fractions stays exact).
+  std::vector<int> saved_rr_;
+  std::int64_t reclaimed_pfc_ns_[6] = {0, 0, 0, 0, 0, 0};
 };
 
 }  // namespace bfc

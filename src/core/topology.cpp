@@ -97,6 +97,20 @@ int TopoGraph::port_to_pod(int core, int pod) const {
   return -1;
 }
 
+void TopoGraph::finalize_groups() {
+  int n_groups = 0;
+  for (int node = 0; node < num_nodes(); ++node) {
+    n_groups = std::max(n_groups, group_[node] + 1);
+  }
+  group_hosts_.assign(static_cast<std::size_t>(n_groups), 0);
+  group_nodes_.assign(static_cast<std::size_t>(n_groups), 0);
+  for (int node = 0; node < num_nodes(); ++node) {
+    const auto g = static_cast<std::size_t>(group_[node]);
+    ++group_nodes_[g];
+    if (is_host(node)) ++group_hosts_[g];
+  }
+}
+
 TopoGraph TopoGraph::fat_tree(const FatTreeConfig& cfg) {
   TopoGraph t;
   std::vector<int> tors, spines;
@@ -105,6 +119,7 @@ TopoGraph TopoGraph::fat_tree(const FatTreeConfig& cfg) {
                tors, spines);
   t.host_rate_ = cfg.host_rate;
   t.hosts_per_tor_ = cfg.hosts_per_tor;
+  t.finalize_groups();
   return t;
 }
 
@@ -140,6 +155,7 @@ TopoGraph TopoGraph::cross_dc(const CrossDcConfig& cfg) {
        cfg.inter_delay);
   t.host_rate_ = cfg.dc.host_rate;
   t.hosts_per_tor_ = cfg.dc.hosts_per_tor;
+  t.finalize_groups();
   return t;
 }
 
@@ -206,6 +222,7 @@ TopoGraph TopoGraph::three_tier(const ThreeTierConfig& cfg) {
   }
   t.host_rate_ = cfg.host_rate;
   t.hosts_per_tor_ = cfg.hosts_per_edge;
+  t.finalize_groups();
   return t;
 }
 
@@ -219,17 +236,12 @@ std::vector<int> TopoGraph::partition(int n_shards) const {
   // node count breaks ties so host-less fabric groups (spines, cores,
   // gateways) still spread. Deterministic: groups order by (host count
   // desc, group id asc) and shard-load ties go to the lowest shard id.
-  int n_groups = 0;
-  for (int node = 0; node < num_nodes(); ++node) {
-    n_groups = std::max(n_groups, group_[node] + 1);
-  }
-  std::vector<int> g_hosts(static_cast<std::size_t>(n_groups), 0);
-  std::vector<int> g_nodes(static_cast<std::size_t>(n_groups), 0);
-  for (int node = 0; node < num_nodes(); ++node) {
-    const auto g = static_cast<std::size_t>(group_[node]);
-    ++g_nodes[g];
-    if (is_host(node)) ++g_hosts[g];
-  }
+  // Group weights come straight from the build-time tables — placing a
+  // 16384-host fabric reads the graph, not materialized devices or a
+  // per-node re-scan.
+  const int n_groups = num_groups();
+  const std::vector<int>& g_hosts = group_hosts_;
+  const std::vector<int>& g_nodes = group_nodes_;
   std::vector<int> order(static_cast<std::size_t>(n_groups));
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
@@ -325,6 +337,61 @@ std::vector<Hop> TopoGraph::route(const FlowKey& key) const {
   path.push_back({spine, port_to(spine, dst_tor)});
   path.push_back({dst_tor, port_to(dst_tor, dst)});
   return path;
+}
+
+// The on-demand resolver flows use on their first send. Deliberately a
+// separate implementation from route() — route() is the eager reference
+// the differential test (tests/test_routes.cpp) checks this one against,
+// so a refactor of either is caught by the other. Same ECMP salts, same
+// hop order, zero allocation.
+void TopoGraph::route_into(const FlowKey& key, HopVec& out) const {
+  out.clear();
+  const int src = static_cast<int>(key.src);
+  const int dst = static_cast<int>(key.dst);
+  out.push_back({src, 0});  // NIC's single port
+  const int src_tor = tor_of_host_[src];
+  const int dst_tor = tor_of_host_[dst];
+  if (src_tor == dst_tor) {
+    out.push_back({src_tor, port_to(src_tor, dst)});
+    return;
+  }
+  // Every locality class below starts the same way: up through an ECMP
+  // uplink of the source ToR/edge.
+  const std::uint64_t up_salt = three_tier_ ? 3 : (dc_[src] != dc_[dst] ? 11 : 3);
+  const int up = tor_uplinks_[src_tor][static_cast<std::size_t>(
+      ecmp(key, static_cast<int>(tor_uplinks_[src_tor].size()), up_salt))];
+  const int mid = ports_[src_tor][static_cast<std::size_t>(up)].peer;
+  out.push_back({src_tor, up});
+  if (three_tier_) {
+    if (pod_[src] != pod_[dst]) {
+      // Through an ECMP core of the agg's plane, down the (unique)
+      // matching agg of the destination pod.
+      const int cup = agg_uplinks_[mid][static_cast<std::size_t>(
+          ecmp(key, static_cast<int>(agg_uplinks_[mid].size()), 7))];
+      const int core = ports_[mid][static_cast<std::size_t>(cup)].peer;
+      const int down = port_to_pod(core, pod_[dst]);
+      const int agg2 = ports_[core][static_cast<std::size_t>(down)].peer;
+      out.push_back({mid, cup});
+      out.push_back({core, down});
+      out.push_back({agg2, port_to(agg2, dst_tor)});
+    } else {
+      out.push_back({mid, port_to(mid, dst_tor)});
+    }
+  } else if (dc_[src] != dc_[dst]) {
+    // Spine, local gateway, long-haul hop, remote gateway's ECMP spine.
+    const int gw = gateway_of_dc_[static_cast<std::size_t>(dc_[src])];
+    const int peer_gw = gateway_of_dc_[static_cast<std::size_t>(dc_[dst])];
+    out.push_back({mid, port_to(mid, gw)});
+    out.push_back({gw, port_to(gw, peer_gw)});
+    const int down_spine = ports_[peer_gw][static_cast<std::size_t>(ecmp(
+        key, static_cast<int>(ports_[peer_gw].size()) - 1, 13))].peer;
+    out.push_back({peer_gw, port_to(peer_gw, down_spine)});
+    out.push_back({down_spine, port_to(down_spine, dst_tor)});
+  } else {
+    out.push_back({mid, port_to(mid, dst_tor)});
+  }
+  out.push_back({dst_tor, port_to(dst_tor, dst)});
+  return;
 }
 
 }  // namespace bfc

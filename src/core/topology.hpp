@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "core/vfid.hpp"
@@ -83,6 +85,21 @@ struct ThreeTierConfig {
     return c;
   }
 
+  // The 16384-host scale preset: 32 pods x 32 edges x 16 hosts, 256
+  // cores (18176 nodes). Opened by lazy switch state and on-demand
+  // routing — an idle instance allocates no per-port queue arrays, no
+  // flow-table chunks, and no flow routes, so construction cost is the
+  // topology graph plus device shells, not the fabric's full state.
+  static ThreeTierConfig t3_16384() {
+    ThreeTierConfig c;
+    c.n_pods = 32;
+    c.edges_per_pod = 32;
+    c.hosts_per_edge = 16;
+    c.aggs_per_pod = 16;
+    c.cores_per_agg = 16;
+    return c;
+  }
+
   // A small instance for unit tests: 32 hosts over 4 pods, 4 cores.
   static ThreeTierConfig t3_small() {
     ThreeTierConfig c;
@@ -126,6 +143,44 @@ enum class NodeTier {
 struct Hop {
   int node = -1;  // node that forwards
   int port = -1;  // its egress port index
+
+  bool operator==(const Hop& o) const {
+    return node == o.node && port == o.port;
+  }
+};
+
+// Small-vector hop cache: the longest path any topology produces is 7
+// transmitters (cross-DC), so a flow's route fits inline — a resolved
+// route costs no heap, and an *unresolved* route (empty, the state every
+// flow starts in since routes resolve on first send) costs nothing at
+// all.
+class HopVec {
+ public:
+  static constexpr int kMaxHops = 8;
+
+  bool empty() const { return n_ == 0; }
+  std::size_t size() const { return n_; }
+  const Hop& operator[](std::size_t i) const { return hops_[i]; }
+  const Hop* begin() const { return hops_; }
+  const Hop* end() const { return hops_ + n_; }
+  // Checked in every build mode: the deepest real path (cross-DC) is 7
+  // hops, so an 8th-plus hop means a new topology family outgrew the
+  // cache — overrunning the inline array would silently corrupt the
+  // Flow, so fail loudly instead (a once-per-flow-per-hop compare).
+  void push_back(const Hop& h) {
+    if (n_ >= kMaxHops) {
+      std::fprintf(stderr,
+                   "HopVec: path exceeds %d hops; grow kMaxHops for the "
+                   "new topology\n", kMaxHops);
+      std::abort();
+    }
+    hops_[n_++] = h;
+  }
+  void clear() { n_ = 0; }
+
+ private:
+  Hop hops_[kMaxHops];
+  std::uint8_t n_ = 0;
 };
 
 class TopoGraph {
@@ -145,28 +200,47 @@ class TopoGraph {
   Rate host_rate() const { return host_rate_; }
 
   // The (deterministic, per-flow ECMP) path from src host to dst host:
-  // one Hop per transmitting device, starting at the source NIC.
+  // one Hop per transmitting device, starting at the source NIC. This is
+  // the eager reference resolver — it allocates and is only used off the
+  // hot path (prepare-time fidelity checks, post-run ideal-FCT).
   std::vector<Hop> route(const FlowKey& key) const;
+
+  // The on-demand resolver: same path, written into a caller-owned hop
+  // cache with no allocation. Flows call this on their first send;
+  // tests/test_routes.cpp asserts it is hop-for-hop identical to
+  // route() for every locality class.
+  void route_into(const FlowKey& key, HopVec& out) const;
 
   // Shard assignment for the parallel engine: every node to one of
   // `n_shards` workers. Locality groups — a pod (3-tier) or a ToR with
   // its hosts (2-tier) — never split; groups place greedily, heaviest
   // host count first onto the lightest shard, so per-shard host totals
   // (the event-rate proxy) stay balanced even when groups differ in
-  // size. Deterministic for a given topology.
+  // size. Weights come from the per-group host/node tables the builders
+  // fill (group_hosts/group_nodes), so placement reads the graph, never
+  // materialized devices. Deterministic for a given topology.
   std::vector<int> partition(int n_shards) const;
+
+  // Per-locality-group weights, filled at build time (host count is the
+  // event-rate proxy the partitioner balances on).
+  int num_groups() const { return static_cast<int>(group_hosts_.size()); }
+  const std::vector<int>& group_hosts() const { return group_hosts_; }
+  const std::vector<int>& group_nodes() const { return group_nodes_; }
 
  private:
   // ECMP uplink choice for `key` among `n` candidates at hop `salt`.
   static int ecmp(const FlowKey& key, int n, std::uint64_t salt);
   int port_to(int node, int peer) const;
   int port_to_pod(int core, int pod) const;
+  void finalize_groups();  // fills group_hosts_/group_nodes_ (build time)
 
   std::vector<std::vector<PortInfo>> ports_;
   std::vector<NodeTier> tier_;
   std::vector<int> dc_;
   std::vector<int> pod_;              // 3-tier pod id; -1 elsewhere
   std::vector<int> group_;            // partition locality group
+  std::vector<int> group_hosts_;      // per group: host count (weight)
+  std::vector<int> group_nodes_;      // per group: node count (tiebreak)
   std::vector<int> hosts_;
   std::vector<int> tor_of_host_;      // host id -> ToR/edge node
   std::vector<std::vector<int>> tor_uplinks_;   // ToR/edge -> uplink ports

@@ -153,6 +153,9 @@ ExperimentResult run_experiment(const TopoGraph& topo,
   fill_slowdowns(net.flow_stats(), net.ideal_fct_fn(), r.bins);
   r.p99_slowdown = bin_percentiles(r.bins, 99);
   r.bfc = net.bfc_totals();
+  const NicStats nt = net.nic_totals();
+  r.acks_data_path = nt.acks_data_path;
+  r.acks_deferred = nt.acks_deferred;
   r.shards = shards;
   r.events_processed = sim.events_processed();
   for (int s = 0; s < sim.n_shards(); ++s) {

@@ -62,6 +62,11 @@ struct ExperimentResult {
   std::vector<SizeBin> bins;
   std::vector<double> p99_slowdown;  // per bin
   BfcTotals bfc;
+  // Ack-uplink arbitration telemetry (nonzero only under acks_in_data):
+  // acks that rode the data-path pacer, and how many found the uplink
+  // busy/paused and had to wait (ext_timely asserts both engage).
+  std::int64_t acks_data_path = 0;
+  std::int64_t acks_deferred = 0;
   // Engine telemetry (fig15_scale): how much work the run was, how fast
   // the engine chewed through it, and how evenly the partition spread it
   // (per-shard event counts expose placement imbalance).

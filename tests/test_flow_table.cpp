@@ -70,5 +70,31 @@ int main() {
     CHECK(created);
     CHECK(t.size() == 6);
   }
+
+  {
+    // Lazy chunk slab: a fresh table owns no entry memory; the first
+    // acquire materializes exactly the chunk its bucket hashes into, and
+    // entry pointers stay stable across further growth (the switch holds
+    // them across the whole flow lifetime).
+    FlowTable t(16384, 4, 1024);  // the default switch geometry
+    CHECK(t.allocated_chunks() == 0);
+    CHECK(t.size() == 0);
+    bool created = false;
+    FlowEntry* e = t.acquire(42, 3, 0, created);
+    CHECK(e != nullptr && created);
+    CHECK(t.allocated_chunks() == 1);
+    CHECK(t.allocated_bytes() > 0);
+    for (std::uint32_t v = 0; v < 512; ++v) t.acquire(v, 1, 0, created);
+    CHECK(t.allocated_chunks() > 1);
+    CHECK(t.find(42, 3, 0) == e);  // original pointer survived growth
+    // A find for a key whose chunk never materialized allocates nothing.
+    const std::size_t before = t.allocated_chunks();
+    int missed = 0;
+    for (std::uint32_t v = 0; v < 64; ++v) {
+      if (t.find(v, 777, 0) == nullptr) ++missed;
+    }
+    CHECK(missed == 64);
+    CHECK(t.allocated_chunks() == before);
+  }
   return 0;
 }

@@ -1,7 +1,13 @@
 // Three-tier fat-tree construction and routing: link symmetry, pod
 // labelling, and valid host-to-host paths at every locality (same edge,
-// same pod, inter-pod) for both the small and the 1024-host preset.
+// same pod, inter-pod) for the small, 1024-, 4096-, and 16384-host
+// presets — plus the lazy-state contract that opens the 16384-host tier:
+// an idle network allocates no per-port queue arrays, no flow-table
+// entries or chunks, and no flow routes.
 #include "core/topology.hpp"
+
+#include "core/network.hpp"
+#include "engine/sharded_sim.hpp"
 
 #include "test_util.hpp"
 
@@ -112,15 +118,20 @@ void check_topo(const ThreeTierConfig& cfg) {
 
 }  // namespace
 
-// The partitioner must spread the 4096-host preset's 16 pods evenly: at
-// power-of-two shard counts every shard gets the same host total, and
-// the host-less core groups spread instead of piling onto one shard.
-void check_t3_4096_partition() {
-  const TopoGraph topo = TopoGraph::three_tier(ThreeTierConfig::t3_4096());
+// The partitioner must spread a preset's pods evenly: at power-of-two
+// shard counts every shard gets the same host total, and the host-less
+// core groups spread instead of piling onto one shard. Placement reads
+// the build-time group-weight tables, never materialized devices.
+void check_partition_balance(const ThreeTierConfig& cfg) {
+  const TopoGraph topo = TopoGraph::three_tier(cfg);
+  CHECK(topo.num_groups() > 0);
+  int weight_hosts = 0;
+  for (const int h : topo.group_hosts()) weight_hosts += h;
+  CHECK(weight_hosts == cfg.num_hosts());  // weights cover every host
   for (int shards : {1, 2, 4, 8}) {
     const auto part = topo.partition(shards);
     std::vector<int> hosts(static_cast<std::size_t>(shards), 0);
-    std::vector<int> pod_shard(16, -1);
+    std::vector<int> pod_shard(static_cast<std::size_t>(cfg.n_pods), -1);
     for (int node = 0; node < topo.num_nodes(); ++node) {
       const int s = part[static_cast<std::size_t>(node)];
       CHECK(s >= 0 && s < shards);
@@ -134,8 +145,54 @@ void check_t3_4096_partition() {
       }
     }
     for (int s = 0; s < shards; ++s) {
-      CHECK(hosts[static_cast<std::size_t>(s)] == 4096 / shards);
+      CHECK(hosts[static_cast<std::size_t>(s)] == cfg.num_hosts() / shards);
     }
+  }
+}
+
+// The lazy-state contract that opens the 16384-host tier: constructing
+// the full network and running it idle — with flows *prepared* but not
+// yet activated — allocates no per-port queue arrays, no flow-table
+// entries or chunks, no receiver slots, and no flow routes. (Mirrors
+// PR 4's idle receiver-slab test, one layer further down.)
+void idle_t3_16384_allocates_nothing() {
+  const TopoGraph topo = TopoGraph::three_tier(ThreeTierConfig::t3_16384());
+  CHECK(topo.num_hosts() == 16384);
+  ShardedSimulator sim(topo, 2);
+  Network net(sim, topo, Scheme::kBfc);
+  // Prepared (future) flows must cost identity only: activation — and
+  // with it route resolution — sits past the run horizon.
+  const auto& hosts = topo.hosts();
+  for (std::uint64_t uid = 1; uid <= 64; ++uid) {
+    const int src = hosts[static_cast<std::size_t>(uid * 131 % 16384)];
+    const int dst = hosts[static_cast<std::size_t>((uid * 197 + 57) % 16384)];
+    if (src == dst) continue;
+    const FlowKey key{static_cast<std::uint32_t>(src),
+                      static_cast<std::uint32_t>(dst),
+                      static_cast<std::uint16_t>(1000 + uid), 80};
+    net.prepare_flow(key, 100'000, uid, false, milliseconds(10));
+  }
+  sim.run_until(microseconds(200));
+
+  std::size_t eg_ports = 0, in_ports = 0, entries = 0, chunks = 0;
+  for (const Switch* sw : net.switches()) {
+    eg_ports += sw->live_egress_ports();
+    in_ports += sw->live_ingress_ports();
+    entries += sw->table_entries();
+    chunks += sw->table_chunks();
+  }
+  CHECK(eg_ports == 0);  // no per-port queue arrays materialized
+  CHECK(in_ports == 0);  // no Bloom filters / PFC accounting either
+  CHECK(entries == 0);   // no flow-table entries
+  CHECK(chunks == 0);    // ...and no flow-table chunk slabs
+  std::size_t rcv_slots = 0;
+  for (const Nic* nic : net.nics()) rcv_slots += nic->receiver_slots();
+  CHECK(rcv_slots == 0);
+  for (std::uint64_t uid = 1; uid <= 64; ++uid) {
+    const Flow* f = net.flow(uid);
+    if (f == nullptr) continue;  // (src == dst pairs were skipped)
+    CHECK(f->path.empty());      // no route resolved before activation
+    CHECK(f->rpath.empty());
   }
 }
 
@@ -143,6 +200,9 @@ int main() {
   check_topo(ThreeTierConfig::t3_small());
   check_topo(ThreeTierConfig::t3_1024());
   check_topo(ThreeTierConfig::t3_4096());
-  check_t3_4096_partition();
+  check_topo(ThreeTierConfig::t3_16384());
+  check_partition_balance(ThreeTierConfig::t3_4096());
+  check_partition_balance(ThreeTierConfig::t3_16384());
+  idle_t3_16384_allocates_nothing();
   return 0;
 }

@@ -1,35 +1,47 @@
 #!/usr/bin/env python3
 """Engine perf regression gate.
 
-Compares a fresh fig15_scale run (BENCH json) against the committed
-BENCH_engine.json baseline and fails on a throughput regression beyond
-the tolerance band, printing a trajectory diff (PR-2 heap engine ->
-committed -> this run) that CI appends to the job summary.
+Compares a fresh fig15_scale run (BENCH json) against a baseline and
+fails on a throughput regression beyond the tolerance band, printing a
+trajectory diff (PR-2 heap engine -> baseline -> this run) that CI
+appends to the job summary.
+
+Baseline selection: the committed BENCH_engine.json is the floor of
+record, but a single committed point is one machine's one noisy run.
+With --history DIR (a directory of bench jsons from previous CI runs,
+kept in an actions cache), each topo instead gates against the *median
+of the last --history-limit (default 3) runs* — the rolling window
+tracks the fleet's real recent throughput, absorbs one-off noise in
+either direction, and falls back to the committed value for topos with
+no history yet.
 
 Modes:
   raw (default)   each topo's shards1_events_per_sec must stay within
-                  --tolerance of the committed value. Right when baseline
+                  --tolerance of the baseline value. Right when baseline
                   and current run on the same machine.
   --calibrate     divides out machine speed first: the best-performing
-                  topo's current/committed ratio (capped at 1.0) is taken
+                  topo's current/baseline ratio (capped at 1.0) is taken
                   as the machine factor, and every topo must stay within
-                  --tolerance of factor * committed. A uniformly slower
+                  --tolerance of factor * baseline. A uniformly slower
                   CI runner passes; a subsystem that regressed relative
                   to its peers fails. A hard floor (--hard-floor, default
-                  0.25x committed) still catches across-the-board
+                  0.25x baseline) still catches across-the-board
                   collapses that calibration could otherwise absorb.
 
 Always enforced: nonzero throughput and a clean determinism column.
 
 --self-test runs the gate against synthetic inputs (a >25% injected
-regression must fail, a healthy run must pass) and is wired into CI so
-the gate itself is tested on every push.
+regression must fail, a healthy run must pass; rolling-median selection
+included) and is wired into CI so the gate itself is tested on every
+push.
 """
 
 import argparse
+import glob
 import json
 import os
 import sys
+from statistics import median
 
 
 def load_topos(path):
@@ -39,17 +51,68 @@ def load_topos(path):
     return engine.get("topos", {}), engine.get("scale"), doc.get("baseline", {})
 
 
-def gate(current, committed, tolerance, calibrate, hard_floor, pr2=None):
+def rolling_baseline(committed, history_dir, limit, cur_scale=None):
+    """Overlays the committed per-topo baseline with the median of the
+    last `limit` history runs (files sort by name: CI writes
+    zero-padded run numbers). History recorded at a different
+    BFC_BENCH_SCALE than the current run is skipped — events/sec is
+    scale-dependent, so mixing scales would blur the median for the few
+    runs after a workflow scale change. The gated topo surface stays
+    the committed one; history only refreshes the expected value."""
+    if not history_dir:
+        return committed, 0
+    usable = []
+    for path in sorted(glob.glob(os.path.join(history_dir, "*.json"))):
+        try:
+            topos, scale, _ = load_topos(path)
+        except (OSError, ValueError):
+            continue  # a corrupt cached artifact must not wedge the gate
+        if cur_scale is not None and scale is not None and scale != cur_scale:
+            continue
+        usable.append(topos)
+    usable = usable[-limit:]
+    per_topo = {}
+    for topos in usable:
+        for topo, v in topos.items():
+            eps = v.get("shards1_events_per_sec", 0)
+            if eps > 0:
+                per_topo.setdefault(topo, []).append(eps)
+    effective = {t: dict(v) for t, v in committed.items()}
+    for topo, samples in per_topo.items():
+        if topo in effective:
+            effective[topo]["shards1_events_per_sec"] = median(samples)
+    return effective, len(usable)
+
+
+def gate(current, committed, tolerance, calibrate, hard_floor, pr2=None,
+         optional=(), floors=None):
     """Returns (failures, rows). `current`/`committed` map topo ->
-    {shards1_events_per_sec, deterministic}; rows are markdown cells."""
+    {shards1_events_per_sec, deterministic}; rows are markdown cells.
+    Topos in `optional` are fully gated when present but may be absent
+    from the current run (opt-in sweeps like t3_16384, which
+    fig15_scale only runs when BFC_FIG15_TOPOS names it). `floors`
+    (topo map, default `committed`) anchors the hard floor: with a
+    rolling-median baseline the tolerance band follows recent runs, but
+    the floor stays pinned to the committed file of record so repeated
+    within-tolerance regressions cannot ratchet the gate down
+    indefinitely."""
+    floors = floors if floors is not None else committed
     failures = []
+    rows = []
     # A committed topo must appear in the current run: a sweep that
     # silently drops a fabric (stray BFC_FIG15_TOPOS, bench bug) must not
-    # shrink the gated surface.
+    # shrink the gated surface. Opt-in topos are the exception — a local
+    # default-set run skips them by design, so they surface as a visible
+    # "skipped" row instead of a false failure.
     for topo in committed:
         if topo not in current:
-            failures.append(f"{topo}: in committed baseline but missing "
-                            "from the current run")
+            if topo in optional:
+                rows.append((topo, 0,
+                             committed[topo].get("shards1_events_per_sec", 0),
+                             0, None, "skipped (opt-in, not in this run)"))
+            else:
+                failures.append(f"{topo}: in committed baseline but missing "
+                                "from the current run")
     ratios = {}
     for topo, cur in current.items():
         eps = cur.get("shards1_events_per_sec", 0)
@@ -64,7 +127,6 @@ def gate(current, committed, tolerance, calibrate, hard_floor, pr2=None):
     if calibrate and ratios:
         factor = min(1.0, max(ratios.values()))
 
-    rows = []
     pr2 = pr2 or {}
     for topo, cur in sorted(current.items()):
         eps = cur.get("shards1_events_per_sec", 0)
@@ -74,7 +136,8 @@ def gate(current, committed, tolerance, calibrate, hard_floor, pr2=None):
             rows.append((topo, pr2_eps, base, eps, None, "new (no baseline)"))
             continue
         allowed = base * factor * (1.0 - tolerance)
-        floor = base * hard_floor
+        floor_base = floors.get(topo, {}).get("shards1_events_per_sec", 0)
+        floor = (floor_base if floor_base > 0 else base) * hard_floor
         delta = eps / base - 1.0
         status = "ok"
         if eps < allowed:
@@ -87,20 +150,24 @@ def gate(current, committed, tolerance, calibrate, hard_floor, pr2=None):
             status = "REGRESSION (hard floor)"
             failures.append(
                 f"{topo}: {eps:,.0f} ev/s is below the hard floor "
-                f"({floor:,.0f} = {hard_floor:.2f} x committed {base:,.0f})")
+                f"({floor:,.0f} = {hard_floor:.2f} x committed "
+                f"{floor / hard_floor:,.0f})")
         rows.append((topo, pr2_eps, base, eps, delta, status))
     return failures, rows, factor
 
 
-def render(rows, factor, tolerance, calibrate, cur_scale, base_scale):
+def render(rows, factor, tolerance, calibrate, cur_scale, base_scale,
+           n_history=0):
     lines = ["## Engine perf trajectory", ""]
     mode = (f"calibrated (machine factor {factor:.2f})"
             if calibrate else "raw")
+    base = (f"rolling median of last {n_history} runs" if n_history
+            else "committed baseline")
     lines.append(
-        f"Gate: {mode}, tolerance {tolerance:.0%}; current scale "
-        f"{cur_scale}, committed scale {base_scale}.")
+        f"Gate: {mode}, tolerance {tolerance:.0%}, baseline: {base}; "
+        f"current scale {cur_scale}, committed scale {base_scale}.")
     lines.append("")
-    lines.append("| topo | PR-2 heap ev/s | committed ev/s | this run ev/s "
+    lines.append("| topo | PR-2 heap ev/s | baseline ev/s | this run ev/s "
                  "| delta | status |")
     lines.append("|---|---:|---:|---:|---:|---|")
     for topo, pr2_eps, base, eps, delta, status in rows:
@@ -161,6 +228,87 @@ def self_test():
     # A committed topo silently dropped from the sweep must fail.
     partial = {t: v for t, v in healthy.items() if t != "t3_1024"}
     assert run(partial, True), "missing committed topo must fail"
+
+    # ...unless it is declared opt-in: then it shows as a skipped row,
+    # but still gates normally whenever the sweep does include it.
+    f_opt, rows_opt, _ = gate(partial, committed, tolerance=0.25,
+                              calibrate=True, hard_floor=0.25,
+                              optional=frozenset({"t3_1024"}))
+    assert f_opt == [], "opt-in topo may be absent from the run"
+    assert any("skipped" in r[-1] for r in rows_opt), \
+        "absent opt-in topo must still be visible as a skipped row"
+    slow_opt = dict(healthy)
+    slow_opt["t3_1024"] = {"shards1_events_per_sec": 1_600_000,
+                           "deterministic": True}
+    f_opt2, _, _ = gate(slow_opt, committed, tolerance=0.25,
+                        calibrate=True, hard_floor=0.25,
+                        optional=frozenset({"t3_1024"}))
+    assert f_opt2, "a present opt-in topo is gated like any other"
+
+    # Rolling window: the median of the last 3 history runs replaces the
+    # committed value, so (a) a regression vs recent runs fails even when
+    # the committed point is stale-low, and (b) one noisy history outlier
+    # does not move the gate.
+    import tempfile
+    with tempfile.TemporaryDirectory() as d:
+        def put(name, eps):
+            doc = {"engine": {"topos": {
+                "t1_128": {"shards1_events_per_sec": eps,
+                           "deterministic": True}}}}
+            with open(os.path.join(d, name), "w") as f:
+                json.dump(doc, f)
+        put("run-00000001.json", 1_000_000)   # outside the window of 3
+        put("run-00000002.json", 5_000_000)
+        put("run-00000003.json", 4_800_000)   # <- median of the last 3
+        put("run-00000004.json", 9_000_000)   # one hot outlier, absorbed
+        effective, n = rolling_baseline(committed, d, 3)
+        # A history file recorded at a different scale is skipped, not
+        # mixed into the median (events/sec is scale-dependent).
+        with open(os.path.join(d, "run-00000005.json"), "w") as f:
+            json.dump({"engine": {"scale": 1.0, "topos": {
+                "t1_128": {"shards1_events_per_sec": 50_000_000,
+                           "deterministic": True}}}}, f)
+        scaled, n_scaled = rolling_baseline(committed, d, 3, cur_scale=0.05)
+        assert n_scaled == 3 and scaled["t1_128"][
+            "shards1_events_per_sec"] == 5_000_000, \
+            "off-scale history must not enter the window"
+        assert n == 3, "window must keep the last 3 files only"
+        assert effective["t1_128"]["shards1_events_per_sec"] == 5_000_000, \
+            "median of {5.0M, 4.8M, 9.0M} is 5.0M"
+        assert effective["t3_1024"] == committed["t3_1024"], \
+            "topos without history keep the committed value"
+        # The faster rolling baseline catches a drop the stale committed
+        # value (4.0M) would have waved through.
+        drooped = {"t1_128": {"shards1_events_per_sec": 3_500_000,
+                              "deterministic": True},
+                   "t3_1024": committed["t3_1024"]}
+        f_raw, _, _ = gate(drooped, effective, tolerance=0.25,
+                           calibrate=False, hard_floor=0.25)
+        assert f_raw, "30% drop vs rolling median must fail"
+        f_old, _, _ = gate(drooped, committed, tolerance=0.25,
+                           calibrate=False, hard_floor=0.25)
+        assert f_old == [], "...though the stale committed point missed it"
+        # An empty/absent history dir degrades to the committed baseline.
+        effective, n = rolling_baseline(committed, os.path.join(d, "none"), 3)
+        assert n == 0 and effective == committed
+
+    # The hard floor stays anchored to the *committed* value even when
+    # the rolling median has already drifted far below it: a run inside
+    # the tolerance band of a degraded median still fails the floor, so
+    # successive within-tolerance regressions cannot compound forever.
+    drifted_median = {
+        "t1_128": {"shards1_events_per_sec": 1_200_000,
+                   "deterministic": True},
+        "t3_1024": committed["t3_1024"],
+    }
+    crawling = {
+        "t1_128": {"shards1_events_per_sec": 950_000, "deterministic": True},
+        "t3_1024": committed["t3_1024"],
+    }
+    f_floor, _, _ = gate(crawling, drifted_median, tolerance=0.25,
+                         calibrate=False, hard_floor=0.25, floors=committed)
+    assert any("hard floor" in m for m in f_floor), \
+        "committed-anchored floor must catch median ratchet (4.0M -> 0.95M)"
     print("perf_gate self-test ok")
 
 
@@ -175,6 +323,15 @@ def main():
                     help="normalize for machine speed before gating")
     ap.add_argument("--hard-floor", type=float, default=0.25,
                     help="fail below this fraction of committed, always")
+    ap.add_argument("--history",
+                    help="directory of bench jsons from previous runs; "
+                         "gates on the median of the last N instead of "
+                         "the single committed baseline")
+    ap.add_argument("--history-limit", type=int, default=3,
+                    help="rolling window size (default 3)")
+    ap.add_argument("--optional-topos", default="t3_16384",
+                    help="comma list of opt-in topos: gated when present, "
+                         "allowed to be absent from the current run")
     ap.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
                     help="markdown file to append the trajectory diff to")
     ap.add_argument("--self-test", action="store_true")
@@ -191,11 +348,16 @@ def main():
     if not current:
         print("perf_gate: no engine.topos in", args.current, file=sys.stderr)
         return 1
+    baseline, n_history = rolling_baseline(committed, args.history,
+                                           args.history_limit, cur_scale)
 
-    failures, rows, factor = gate(current, committed, args.tolerance,
-                                  args.calibrate, args.hard_floor, pr2)
+    optional = frozenset(
+        t for t in args.optional_topos.split(",") if t)
+    failures, rows, factor = gate(current, baseline, args.tolerance,
+                                  args.calibrate, args.hard_floor, pr2,
+                                  optional, floors=committed)
     report = render(rows, factor, args.tolerance, args.calibrate,
-                    cur_scale, base_scale)
+                    cur_scale, base_scale, n_history)
     print(report)
     if args.summary:
         with open(args.summary, "a") as f:

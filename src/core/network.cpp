@@ -51,7 +51,6 @@ Network::Network(ShardedSimulator& sim, const TopoGraph& topo, Scheme scheme,
     fault_rng_.emplace_back(mix64((ov.fault_seed << 1) ^ n));
     mark_rng_.emplace_back(mix64((ov.fault_seed << 1) ^ n ^ 0xECECECECULL));
   }
-  logs_.resize(static_cast<std::size_t>(sim_.n_shards()));
   devices_.assign(static_cast<std::size_t>(topo_.num_nodes()), nullptr);
   for (int node = 0; node < topo_.num_nodes(); ++node) {
     if (topo_.is_host(node)) {
@@ -155,20 +154,22 @@ void Network::prepare_flow(const FlowKey& key, std::uint64_t bytes,
 }
 
 void Network::on_flow_complete(Flow* f, Time now) {
-  logs_[static_cast<std::size_t>(
-            sim_.shard_of(static_cast<int>(f->key.dst)))]
-      .completions.emplace_back(f->uid, now);
+  // Always called on the destination's shard; the Shard routes the entry
+  // to its own log, or to the batch-local buffer under work stealing.
+  sim_.shard_of_node(static_cast<int>(f->key.dst))
+      .log_completion(f->uid, now);
 }
 
 FlowStats& Network::flow_stats() {
   // Fold order (shard id, then per-shard completion order) only affects
   // the order of map updates, never the records themselves, so the result
   // is identical for every shard count.
-  for (ShardLog& log : logs_) {
-    for (const auto& [uid, end] : log.completions) {
+  for (int s = 0; s < sim_.n_shards(); ++s) {
+    auto& log = sim_.shard(s).completions();
+    for (const auto& [uid, end] : log) {
       stats_.on_flow_completed(uid, end);
     }
-    log.completions.clear();
+    log.clear();
   }
   return stats_;
 }

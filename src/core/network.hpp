@@ -59,7 +59,9 @@ class Network {
 
   const std::vector<Switch*>& switches() const { return switch_list_; }
   const std::vector<Nic*>& nics() const { return nic_list_; }
-  // Folds the per-shard completion logs, then returns the record set.
+  // Folds the shards' completion logs (Shard::completions — written
+  // shard-locally, or batch-locally under work stealing and merged by the
+  // owner), then returns the record set.
   FlowStats& flow_stats();
   std::int64_t delivered_payload_bytes() const;
 
@@ -131,10 +133,6 @@ class Network {
   FlowStats stats_;
   std::vector<Rng> fault_rng_;  // per node
   std::vector<Rng> mark_rng_;   // per node
-  struct alignas(64) ShardLog {
-    std::vector<std::pair<std::uint64_t, Time>> completions;
-  };
-  std::vector<ShardLog> logs_;  // per shard, folded by flow_stats()
 };
 
 inline Device::Device(Network& net, int node)

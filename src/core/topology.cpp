@@ -1,6 +1,7 @@
 #include "core/topology.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 namespace bfc {
@@ -275,6 +276,25 @@ std::vector<int> TopoGraph::partition(int n_shards) const {
         shard_of_group[static_cast<std::size_t>(group_[node])];
   }
   return shard;
+}
+
+std::vector<Time> TopoGraph::shard_link_delays(
+    const std::vector<int>& shard_of, int n_shards) const {
+  const auto S = static_cast<std::size_t>(n_shards);
+  std::vector<Time> d(S * S, std::numeric_limits<Time>::max());
+  for (std::size_t s = 0; s < S; ++s) d[s * S + s] = 0;
+  for (int node = 0; node < num_nodes(); ++node) {
+    const auto src = static_cast<std::size_t>(
+        shard_of[static_cast<std::size_t>(node)]);
+    for (const PortInfo& port : ports_[static_cast<std::size_t>(node)]) {
+      const auto dst = static_cast<std::size_t>(
+          shard_of[static_cast<std::size_t>(port.peer)]);
+      if (dst != src && port.delay < d[src * S + dst]) {
+        d[src * S + dst] = port.delay;
+      }
+    }
+  }
+  return d;
 }
 
 std::vector<Hop> TopoGraph::route(const FlowKey& key) const {

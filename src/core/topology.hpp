@@ -226,6 +226,20 @@ class TopoGraph {
   int num_groups() const { return static_cast<int>(group_hosts_.size()); }
   const std::vector<int>& group_hosts() const { return group_hosts_; }
   const std::vector<int>& group_nodes() const { return group_nodes_; }
+  // The locality group `node` belongs to (the unit partition() places and
+  // the sharded engine's work stealing splits windows by).
+  int group_of(int node) const {
+    return group_[static_cast<std::size_t>(node)];
+  }
+
+  // Per-pair link-delay table for the channel-clock engine: entry
+  // [src * n_shards + dst] is the minimum propagation delay over direct
+  // links from a node of shard `src` to a node of shard `dst` under the
+  // given assignment — Time max if no such link, 0 on the diagonal. The
+  // engine closes this over multi-hop paths (all-pairs shortest path) to
+  // get each channel's lookahead.
+  std::vector<Time> shard_link_delays(const std::vector<int>& shard_of,
+                                      int n_shards) const;
 
  private:
   // ECMP uplink choice for `key` among `n` candidates at hop `salt`.

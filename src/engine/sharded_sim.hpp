@@ -1,51 +1,142 @@
 // The sharded simulation engine: N shard-local event loops over one
-// partitioned topology, synchronized by conservative lookahead windows.
+// partitioned topology, synchronized conservatively. Two protocols share
+// the same shard/event machinery (BFC_SYNC selects; docs/ARCHITECTURE.md
+// "shard synchronization protocol"):
+//
+//   channel (default)  Per-link channel clocks, null-message style. Every
+//                      shard publishes a monotone clock — a lower bound on
+//                      any event it may still send — and advances past
+//                      min over senders of (clock + channel lookahead),
+//                      where the per-pair lookahead is the shortest-path
+//                      closure of the minimum cross-shard link delays. A
+//                      shard therefore waits only on shards that can
+//                      actually reach it in time, with no global barrier
+//                      on the critical path. Cross-shard events travel in
+//                      per-pair SPSC inbox rings (engine/inbox_ring.hpp),
+//                      and a hot shard can shed same-window per-locality-
+//                      group batches to blocked shards via work stealing
+//                      with deterministic merge-back.
+//
+//   barrier            The legacy global conservative-lookahead window:
+//                      all shards barrier, agree on the minimum pending
+//                      timestamp, run one global-lookahead window, and
+//                      barrier again. Kept as the reference oracle for
+//                      the differential determinism tests.
 //
 // Every node of the topology is owned by exactly one Shard, and all of a
-// node's events execute on its owning shard. Shards only interact through
-// timestamped events whose delay is at least one link propagation — so with
-// lookahead = min propagation delay over links that cross shards, a window
-// of that width can run on every shard in parallel without violating
-// causality (classic conservative PDES). Between windows the shards
-// barrier, exchange mailboxes, and agree on the next window start (the
-// global minimum pending timestamp, so idle stretches are skipped).
+// node's events execute on (or on behalf of) its owning shard. Shards only
+// interact through timestamped events whose delay is at least one link
+// propagation — the source of all lookahead.
 //
 // Determinism: events are ordered by (timestamp, posting-node, per-node
 // sequence). That key depends only on the logical computation, never on
-// thread interleaving, and shards cannot interact within a window — so a
-// run's per-device event order, and therefore every reported stat, is
-// bit-identical for every shard count under the same seed.
+// thread interleaving, and no synchronization protocol ever lets an event
+// execute before everything that could precede it in that order has
+// arrived — so a run's per-device event order, and therefore every
+// reported stat, is bit-identical for every shard count and either sync
+// mode under the same seed. tests/test_channel_clocks.cpp checks channel
+// against barrier differentially; tests/test_determinism_fuzz.cpp sweeps
+// randomized cases.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/topology.hpp"
 #include "engine/event.hpp"
+#include "engine/inbox_ring.hpp"
 #include "engine/packet_arena.hpp"
 #include "engine/timing_wheel.hpp"
 #include "sim/time.hpp"
 
 namespace bfc {
 
+class Shard;
 class ShardedSimulator;
+
+// Cross-shard synchronization protocol. kEnv resolves through the
+// BFC_SYNC environment variable ("channel" default, "barrier" legacy) at
+// engine construction, per instance — tests flip modes in-process.
+enum class SyncMode { kEnv = 0, kChannel, kBarrier };
+
+// One locality group's slice of a split window: the unit of work stealing.
+// The owner pops every event below the (capped) window end, partitions by
+// locality group, and offers the batches; whoever claims one — a blocked
+// neighbor or the owner itself — executes it against these private pools
+// and buffers, so the only shared state two concurrently-running batches
+// of one shard touch is disjoint per-entity state (sequence counters,
+// per-node RNGs, per-device queues). Posts that leave the (group, window)
+// box are deferred and merged back by the owner, in group order, after
+// every batch of the window has completed.
+struct StealBatch {
+  struct Item {
+    Time at;
+    std::uint64_t key;
+    Event* e;
+  };
+
+  Shard* owner = nullptr;
+  int group = -1;
+  Time w0 = 0;       // window start (inclusive)
+  Time w1 = 0;       // window end (exclusive): no batch event runs past it
+  Time now = 0;      // virtual clock while executing
+  std::vector<Item> heap;  // min-heap on (at, key); seeded sorted
+  // Private allocators: recycled events and payload nodes land here and
+  // migrate back through normal arena traffic (same contract as
+  // cross-shard event recycling).
+  EventPool pool;
+  PacketArena arena;
+  AckArena acks;
+  ColdArena cold;
+  // Posts leaving the batch: (event, destination node) with dst < 0 for
+  // the owner's own wheel. Merged by the owner after the window.
+  std::vector<std::pair<Event*, int>> deferred;
+  std::vector<std::pair<std::uint64_t, Time>> completions;
+  std::uint64_t events_run = 0;
+  int claimed_by = -1;  // shard index of the executor
+  std::atomic<int> state{0};  // kStealOffered/Claimed/Done (sharded_sim.cpp)
+};
+
+namespace detail {
+// Non-null exactly while this thread executes a stolen batch; Shard's
+// allocation/post/clock entry points consult it to redirect into the
+// batch's private state.
+extern thread_local StealBatch* tl_batch;
+}  // namespace detail
 
 // One worker's event loop: a hierarchical timing wheel of cache-line
 // pooled events plus the arenas that back its switches' queues and its
 // events' payloads. All methods are only safe from the owning worker
 // thread (or from any thread while the engine is idle, e.g. when
-// pre-seeding events before run_until()).
+// pre-seeding events before run_until()) — except through a claimed
+// StealBatch, which redirects them to batch-private state.
 class Shard {
  public:
-  Time now() const { return now_; }
+  Time now() const {
+    const StealBatch* b = detail::tl_batch;
+    return b != nullptr && b->owner == this ? b->now : now_;
+  }
   int index() const { return idx_; }
-  PacketArena& arena() { return arena_; }
-  AckArena& acks() { return acks_; }
-  ColdArena& cold() { return cold_; }
+  PacketArena& arena() {
+    StealBatch* b = detail::tl_batch;
+    return b != nullptr && b->owner == this ? b->arena : arena_;
+  }
+  AckArena& acks() {
+    StealBatch* b = detail::tl_batch;
+    return b != nullptr && b->owner == this ? b->acks : acks_;
+  }
+  ColdArena& cold() {
+    StealBatch* b = detail::tl_batch;
+    return b != nullptr && b->owner == this ? b->cold : cold_;
+  }
   std::uint64_t events_run() const { return events_run_; }
+  // Events of this shard that were executed by another shard's worker via
+  // work stealing (a subset of events_run()).
+  std::uint64_t events_stolen() const { return events_stolen_; }
 
   // Fresh pooled event stamped with `src_entity`'s next sequence number,
   // clamped to the shard clock (the past is not addressable). The posting
@@ -58,34 +149,40 @@ class Shard {
   // node travels with the event and is released into the *executing*
   // shard's arena by recycle() — same migration contract as event nodes.
   PacketNode* pack(const Packet& p) {
-    PacketNode* n = arena_.alloc();
+    PacketNode* n = arena().alloc();
     n->pkt = p;
     return n;
   }
   AckNode* pack(const AckInfo& a) {
-    AckNode* n = acks_.alloc();
+    AckNode* n = acks().alloc();
     n->ack = a;
     return n;
   }
-  ColdNode* cold_slot() { return cold_.alloc(); }
+  ColdNode* cold_slot() { return cold().alloc(); }
 
   // Schedules `e` on the shard owning `dst_node`. A cross-shard post must
-  // land at least one lookahead window ahead of this shard's clock; a
-  // violation would silently break determinism, so it aborts instead.
+  // land at least one channel lookahead (barrier mode: one global
+  // lookahead) ahead of this shard's clock; a violation would silently
+  // break determinism, so it aborts instead.
   void post(Event* e, int dst_node);
 
   // Schedules `e` on this shard (the common self/same-shard case).
-  void post_local(Event* e) { wheel_.push(e); }
+  void post_local(Event* e);
 
-  // Cold path: closure event on this shard.
+  // Cold path: closure event on this shard. Environment-only; never legal
+  // from inside a stolen batch (closures are pinned to their shard).
   void post_closure(Time at, std::function<void()> fn);
 
-  // Returns `e`'s arena payload (packet/ack/cold slot) to this shard's
-  // arenas, then the node to this shard's pool. The only way events are
+  // Returns `e`'s arena payload (packet/ack/cold slot) to the executing
+  // context's arenas, then the node to its pool. The only way events are
   // retired — see release_event_payload() for why.
-  void recycle(Event* e) {
-    release_event_payload(*e, arena_, acks_, cold_);
-    pool_.release(e);
+  void recycle(Event* e);
+
+  // Per-shard flow-completion log (folded by Network::flow_stats()); a
+  // stolen batch buffers its entries for the owner's merge.
+  void log_completion(std::uint64_t uid, Time t);
+  std::vector<std::pair<std::uint64_t, Time>>& completions() {
+    return completions_;
   }
 
  private:
@@ -103,15 +200,27 @@ class Shard {
   AckArena acks_;
   ColdArena cold_;
   std::uint64_t events_run_ = 0;
+  std::uint64_t events_stolen_ = 0;
+  std::vector<std::pair<std::uint64_t, Time>> completions_;
+  // Work-stealing state (channel mode): the widest window that keeps a
+  // locality group independent of its neighbors, the group -> batch slot
+  // map for the window being split, and the reusable batches.
+  Time steal_cap_ = 0;
+  std::vector<int> group_slot_;  // global group id -> active batch, or -1
+  std::vector<std::unique_ptr<StealBatch>> batches_;
+  std::vector<StealBatch*> active_;  // this window's batches, group order
+  std::vector<Event*> scratch_;      // window pop buffer
 };
 
 class ShardedSimulator {
  public:
   // Partitions `topo` across `n_shards` shards using the topology's
-  // pod/ToR grouping (greedy heaviest-group-first by host count);
-  // lookahead is derived from the minimum propagation delay of any link
-  // whose endpoints land on different shards.
-  ShardedSimulator(const TopoGraph& topo, int n_shards);
+  // pod/ToR grouping (greedy heaviest-group-first by host count). The
+  // per-pair channel lookahead matrix is the all-pairs shortest-path
+  // closure of the minimum link delay between each shard pair; the global
+  // (barrier) lookahead is its off-diagonal minimum, as before.
+  ShardedSimulator(const TopoGraph& topo, int n_shards,
+                   SyncMode mode = SyncMode::kEnv);
 
   ShardedSimulator(const ShardedSimulator&) = delete;
   ShardedSimulator& operator=(const ShardedSimulator&) = delete;
@@ -123,6 +232,18 @@ class ShardedSimulator {
   Shard& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
   Shard& shard_of_node(int node) { return shard(shard_of(node)); }
   Time lookahead() const { return lookahead_; }
+  // Channel lookahead from shard `src` to shard `dst`: no event posted by
+  // src can land on dst sooner than src's clock plus this.
+  Time channel_lookahead(int src, int dst) const {
+    return chan_delay_[static_cast<std::size_t>(src) *
+                           static_cast<std::size_t>(n_shards()) +
+                       static_cast<std::size_t>(dst)];
+  }
+  SyncMode sync() const { return mode_; }
+  const char* sync_name() const {
+    return mode_ == SyncMode::kBarrier ? "barrier" : "channel";
+  }
+  bool steal_enabled() const { return steal_on_; }
 
   // Legacy single-shard convenience API (TrafficGen, samplers, direct
   // benches). Aborts on a multi-shard engine: closures there must target a
@@ -136,6 +257,12 @@ class ShardedSimulator {
   void run_until(Time stop);
 
   std::uint64_t events_processed() const;
+  // Events executed by a non-owning shard via work stealing.
+  std::uint64_t events_stolen() const;
+  // Cross-shard events that overflowed a full inbox ring into the
+  // producer-side FIFO (they still arrive, in order; this counts how
+  // often the ring capacity was the limit).
+  std::uint64_t inbox_overflows() const;
 
  private:
   friend class Shard;
@@ -144,20 +271,67 @@ class ShardedSimulator {
     Event* head = nullptr;
     Event* tail = nullptr;
   };
+  // Per-shard published channel clock, one cache line each: the only
+  // cross-thread state on the channel-mode hot path.
+  struct alignas(64) PubClock {
+    std::atomic<Time> t{0};
+  };
+  enum class Step { kFinished, kRan, kBlocked };
 
-  void worker(int s, Time stop);
+  // --- barrier mode (legacy reference path) ---
+  void worker_barrier(int s, Time stop);
   void drain_mailboxes(int s);
   void barrier_wait();
+
+  // --- channel mode ---
+  void worker_channel(int s, Time stop);
+  void run_channel_coop(Time stop);
+  Step channel_step(int s, Time stop, bool threaded, bool* clock_moved);
+  Time earliest_inbound(int s) const;
+  // Flushes ring overflows, then raises this shard's published clock to
+  // min(wheel min, earliest inbound, overflow caps); returns true if the
+  // published value changed (the cooperative scheduler's progress signal).
+  bool publish_clock(int s, Time eit);   // true = clock rose or overflow flushed
+  std::size_t drain_rings(int s);        // events moved ring -> wheel
+  bool overflow_clear(int s, Time stop);
+  InboxRing& ring(int src, int dst) {
+    return *rings_[static_cast<std::size_t>(src) *
+                       static_cast<std::size_t>(n_shards()) +
+                   static_cast<std::size_t>(dst)];
+  }
+
+  // --- work stealing (channel mode) ---
+  int group_of_event(const Event* e) const;
+  void split_window(Shard& sh, Time w0, Time h, Time stop);
+  void execute_batch(StealBatch& b, int executor);
+  void steal_post_local(StealBatch& b, Event* e);
+  void steal_post_cross(StealBatch& b, Event* e, int dst_shard, int dst_node);
+  bool try_steal_one(int thief);
+
   [[noreturn]] void lookahead_violation(const Event* e, int src_shard,
-                                        int dst_shard) const;
+                                        int dst_shard, Time from,
+                                        Time bound) const;
 
   std::vector<int> shard_of_;
   std::vector<std::uint32_t> seq_;  // per entity: nodes, then shard envs
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<Mailbox> mbox_;      // index src_shard * S + dst_shard
+  std::vector<Mailbox> mbox_;      // barrier mode; index src * S + dst
   std::vector<Time> next_time_;    // per-shard earliest pending, at barrier
   Time lookahead_ = 0;
   int n_nodes_ = 0;
+  SyncMode mode_ = SyncMode::kChannel;
+
+  std::vector<Time> chan_delay_;   // S*S per-pair lookahead (closure)
+  std::unique_ptr<PubClock[]> clock_;  // per-shard published channel clock
+  std::vector<std::unique_ptr<InboxRing>> rings_;  // src * S + dst
+  std::vector<int> group_of_node_;
+  bool coop_ = false;       // run all shards on the calling thread
+  bool steal_on_ = false;
+  std::size_t steal_threshold_ = 0;
+
+  std::mutex steal_mu_;
+  std::vector<StealBatch*> steal_board_;
+  std::atomic<int> hungry_{0};
 
   std::atomic<int> barrier_arrived_{0};
   std::atomic<std::uint64_t> barrier_gen_{0};

@@ -91,7 +91,7 @@ std::vector<double> bin_percentiles(const std::vector<SizeBin>& bins,
 ExperimentResult run_experiment(const TopoGraph& topo,
                                 const ExperimentConfig& cfg) {
   const int shards = cfg.shards > 0 ? cfg.shards : default_shards();
-  ShardedSimulator sim(topo, shards);
+  ShardedSimulator sim(topo, shards, cfg.sync);
   Network net(sim, topo, cfg.scheme, cfg.overrides);
   // Flows are pre-derived from the (open-loop) arrival trace and activated
   // by per-NIC events, so a multi-shard run starts them without any
@@ -162,6 +162,9 @@ ExperimentResult run_experiment(const TopoGraph& topo,
     r.shard_events.push_back(sim.shard(s).events_run());
   }
   r.wall_sec = wall_sec;
+  r.sync = sim.sync_name();
+  r.events_stolen = sim.events_stolen();
+  r.inbox_overflows = sim.inbox_overflows();
   return r;
 }
 

@@ -47,6 +47,8 @@ struct ExperimentConfig {
   Time drain = milliseconds(2);  // run past traffic.stop for completions
   Time buffer_sample_period = microseconds(10);
   int shards = 0;  // engine shards; 0 = BFC_SHARDS env (default 1)
+  // Cross-shard sync protocol; kEnv = BFC_SYNC env (default channel).
+  SyncMode sync = SyncMode::kEnv;
 };
 
 struct ExperimentResult {
@@ -74,6 +76,13 @@ struct ExperimentResult {
   std::uint64_t events_processed = 0;
   std::vector<std::uint64_t> shard_events;  // events run per shard
   double wall_sec = 0;
+  // Sync-protocol telemetry. `sync` names the resolved protocol;
+  // events_stolen / inbox_overflows describe scheduling, not simulation,
+  // so determinism checks must NOT compare them (they legitimately vary
+  // run to run under work stealing).
+  std::string sync;
+  std::uint64_t events_stolen = 0;
+  std::uint64_t inbox_overflows = 0;
 };
 
 ExperimentResult run_experiment(const TopoGraph& topo,

@@ -1,0 +1,193 @@
+// Determinism fuzzing: every case derives a full configuration —
+// topology tier, scheme, seed, load, run length, shard count, and the
+// engine's scheduling knobs (work stealing, cooperative vs threaded
+// workers, inbox ring capacity) — from a splitmix64 stream over the case
+// index, runs it, and requires bit-identical stats against the 1-shard
+// sequential reference. The axes deliberately include every knob that
+// changes *scheduling* without being allowed to change *simulation*.
+//
+// Reproducing a failure needs only the case index printed on the line
+// above it:
+//   BFC_FUZZ_CASE=17 ./test_determinism_fuzz    # replay one case
+//   BFC_FUZZ_CASES=8 ./test_determinism_fuzz    # CI smoke: first 8 cases
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/experiment.hpp"
+
+#include "test_util.hpp"
+
+using namespace bfc;
+
+namespace {
+
+constexpr int kDefaultCases = 32;
+
+// splitmix64: each call advances the per-case stream; the whole case is
+// a pure function of its index.
+std::uint64_t mix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct FuzzCase {
+  int topo_kind = 0;  // 0 = three-tier small, 1 = fat tree, 2 = cross-DC
+  Scheme scheme = Scheme::kBfc;
+  std::uint64_t seed = 0;
+  double load = 0.5;
+  double incast_load = 0.0;
+  Time stop = 0;
+  int shards = 2;
+  bool steal = false;
+  bool coop = false;
+  int ring_cap = 0;  // 0 = default
+};
+
+FuzzCase derive_case(int index) {
+  std::uint64_t s = 0x5eedu + static_cast<std::uint64_t>(index);
+  FuzzCase c;
+  c.topo_kind = static_cast<int>(mix64(s) % 3);
+  c.scheme = (mix64(s) & 1) != 0 ? Scheme::kDcqcnWin : Scheme::kBfc;
+  c.seed = mix64(s) % 100000;
+  c.load = 0.3 + 0.05 * static_cast<double>(mix64(s) % 9);     // 0.30..0.70
+  c.incast_load = 0.02 * static_cast<double>(mix64(s) % 6);    // 0..0.10
+  c.stop = microseconds(60 + static_cast<Time>(mix64(s) % 141));  // 60..200
+  c.shards = 2 + static_cast<int>(mix64(s) % 7);               // 2..8
+  c.steal = (mix64(s) & 1) != 0;
+  c.coop = (mix64(s) & 1) != 0;  // ignored when stealing (steal => threads)
+  const int caps[] = {0, 4, 64, 1024};
+  c.ring_cap = caps[mix64(s) % 4];
+  return c;
+}
+
+TopoGraph build_topo(int kind) {
+  switch (kind) {
+    case 1: {
+      FatTreeConfig ft;  // small two-tier: 4 ToRs x 4 hosts, 4 spines
+      ft.n_tors = 4;
+      ft.hosts_per_tor = 4;
+      ft.n_spines = 4;
+      return TopoGraph::fat_tree(ft);
+    }
+    case 2:
+      // 200 us inter-DC link: the largest lookahead contrast the
+      // channel-delay matrix ever sees (1 us fabric hops next to it).
+      return TopoGraph::cross_dc(CrossDcConfig::paper());
+    default:
+      return TopoGraph::three_tier(ThreeTierConfig::t3_small());
+  }
+}
+
+const char* topo_name(int kind) {
+  return kind == 1 ? "fat_tree" : kind == 2 ? "cross_dc" : "t3_small";
+}
+
+ExperimentResult run_case(const TopoGraph& topo, const FuzzCase& c,
+                          int shards) {
+  ExperimentConfig cfg;
+  cfg.scheme = c.scheme;
+  cfg.sync = SyncMode::kChannel;
+  cfg.traffic.dist = &SizeDist::by_name("google");
+  cfg.traffic.load = c.load;
+  cfg.traffic.incast_load = c.incast_load;
+  cfg.traffic.stop = c.stop;
+  cfg.traffic.seed = c.seed;
+  cfg.drain = microseconds(400);
+  cfg.shards = shards;
+  return run_experiment(topo, cfg);
+}
+
+void check_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  CHECK(a.flows_started == b.flows_started);
+  CHECK(a.flows_completed == b.flows_completed);
+  CHECK(a.drops == b.drops);
+  CHECK(a.bfc.pauses == b.bfc.pauses);
+  CHECK(a.bfc.resumes == b.bfc.resumes);
+  CHECK(a.bfc.overflow_packets == b.bfc.overflow_packets);
+  CHECK(a.collision_frac == b.collision_frac);
+  CHECK(a.buffer_samples_mb == b.buffer_samples_mb);
+  CHECK(a.p99_slowdown == b.p99_slowdown);
+  CHECK(a.bins.size() == b.bins.size());
+  for (std::size_t i = 0; i < a.bins.size(); ++i) {
+    CHECK(a.bins[i].slowdowns == b.bins[i].slowdowns);
+  }
+  // events_processed is NOT compared: the harness's buffer-sampling
+  // closures scale with the shard count, and the reference runs at 1.
+}
+
+void run_one(int index) {
+  const FuzzCase c = derive_case(index);
+  std::printf("case %d: topo=%s scheme=%s seed=%llu load=%.2f incast=%.2f "
+              "stop=%lld shards=%d steal=%d coop=%d ring_cap=%d\n",
+              index, topo_name(c.topo_kind), scheme_name(c.scheme),
+              static_cast<unsigned long long>(c.seed), c.load, c.incast_load,
+              static_cast<long long>(c.stop), c.shards,
+              c.steal ? 1 : 0, c.coop ? 1 : 0, c.ring_cap);
+  std::fflush(stdout);
+
+  const TopoGraph topo = build_topo(c.topo_kind);
+
+  // Reference: 1 shard, clean scheduling environment. The engine reads
+  // every knob per instance at construction, so flipping env between the
+  // two runs is safe in-process.
+  setenv("BFC_STEAL", "0", 1);
+  unsetenv("BFC_COOP");
+  unsetenv("BFC_INBOX_RING_CAP");
+  unsetenv("BFC_STEAL_THRESHOLD");
+  const ExperimentResult ref = run_case(topo, c, 1);
+  CHECK(ref.flows_started > 0);
+
+  if (c.steal) {
+    setenv("BFC_STEAL", "1", 1);
+    // Threshold 1 makes every eligible window split — the point is
+    // coverage of the steal machinery, not a realistic schedule.
+    setenv("BFC_STEAL_THRESHOLD", "1", 1);
+  } else {
+    setenv("BFC_COOP", c.coop ? "1" : "0", 1);
+  }
+  if (c.ring_cap > 0) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%d", c.ring_cap);
+    setenv("BFC_INBOX_RING_CAP", buf, 1);
+  }
+  const ExperimentResult got = run_case(topo, c, c.shards);
+  setenv("BFC_STEAL", "0", 1);
+  unsetenv("BFC_COOP");
+  unsetenv("BFC_INBOX_RING_CAP");
+  unsetenv("BFC_STEAL_THRESHOLD");
+
+  CHECK(got.shards == c.shards);
+  check_identical(ref, got);
+}
+
+long env_long(const char* name, long fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') {
+    std::fprintf(stderr, "test_determinism_fuzz: %s='%s' is not an "
+                         "integer\n", name, env);
+    std::abort();
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  unsetenv("BFC_SYNC");
+  const long replay = env_long("BFC_FUZZ_CASE", -1);
+  if (replay >= 0) {
+    run_one(static_cast<int>(replay));
+    std::printf("replayed case %ld: OK\n", replay);
+    return 0;
+  }
+  const long n = env_long("BFC_FUZZ_CASES", kDefaultCases);
+  for (int i = 0; i < n; ++i) run_one(i);
+  std::printf("%ld cases: OK\n", n);
+  return 0;
+}

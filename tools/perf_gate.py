@@ -8,12 +8,26 @@ appends to the job summary.
 
 Baseline selection: the committed BENCH_engine.json is the floor of
 record, but a single committed point is one machine's one noisy run.
-With --history DIR (a directory of bench jsons from previous CI runs,
-kept in an actions cache), each topo instead gates against the *median
-of the last --history-limit (default 3) runs* — the rolling window
-tracks the fleet's real recent throughput, absorbs one-off noise in
-either direction, and falls back to the committed value for topos with
-no history yet.
+Two history sources refine it, each topo gating against the *median of
+the last --history-limit (default 3) runs*:
+
+  --history-file FILE   the committed BENCH_history.json — a list of
+                        per-PR runs appended at every PR, so the rolling
+                        window survives cache eviction and is reviewable
+                        in the diff. Read first (oldest).
+  --history DIR         bench jsons from previous CI runs kept in an
+                        actions cache. Read second (newest); the window
+                        takes the combined tail.
+
+The rolling window tracks the fleet's real recent throughput, absorbs
+one-off noise in either direction, and falls back to the committed
+value for topos with no history yet.
+
+Gated columns: shards1_events_per_sec always; shards8_events_per_sec /
+shards16_events_per_sec wherever the committed baseline records them —
+the channel-clock scaling path is held to the same band as sequential
+throughput, and a sweep that silently drops a committed multi-shard
+column fails.
 
 Modes:
   raw (default)   each topo's shards1_events_per_sec must stay within
@@ -44,6 +58,12 @@ import sys
 from statistics import median
 
 
+# Throughput columns the gate understands; shards8/16 are gated wherever
+# the committed baseline records them.
+COLUMNS = ("shards1_events_per_sec", "shards8_events_per_sec",
+           "shards16_events_per_sec")
+
+
 def load_topos(path):
     with open(path) as f:
         doc = json.load(f)
@@ -51,36 +71,61 @@ def load_topos(path):
     return engine.get("topos", {}), engine.get("scale"), doc.get("baseline", {})
 
 
-def rolling_baseline(committed, history_dir, limit, cur_scale=None):
-    """Overlays the committed per-topo baseline with the median of the
-    last `limit` history runs (files sort by name: CI writes
-    zero-padded run numbers). History recorded at a different
+def load_history_file(path):
+    """Committed BENCH_history.json: {"runs": [{"scale":..., "topos":
+    {...}}, ...]}, oldest first (every PR appends). Returns a list of
+    (topos, scale). Corrupt or absent files degrade to no history —
+    the gate must never wedge on its own record-keeping."""
+    if not path:
+        return []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError):
+        return []
+    out = []
+    for run in doc.get("runs", []):
+        topos = run.get("topos", {})
+        if topos:
+            out.append((topos, run.get("scale")))
+    return out
+
+
+def rolling_baseline(committed, history_dir, limit, cur_scale=None,
+                     history_file=None):
+    """Overlays the committed per-topo baseline with the per-column
+    median of the last `limit` history runs. Runs come from the
+    committed history file first (oldest) and the cache directory
+    second (files sort by name: CI writes zero-padded run numbers), so
+    the window is the combined tail. History recorded at a different
     BFC_BENCH_SCALE than the current run is skipped — events/sec is
     scale-dependent, so mixing scales would blur the median for the few
     runs after a workflow scale change. The gated topo surface stays
-    the committed one; history only refreshes the expected value."""
-    if not history_dir:
-        return committed, 0
-    usable = []
-    for path in sorted(glob.glob(os.path.join(history_dir, "*.json"))):
-        try:
-            topos, scale, _ = load_topos(path)
-        except (OSError, ValueError):
-            continue  # a corrupt cached artifact must not wedge the gate
-        if cur_scale is not None and scale is not None and scale != cur_scale:
-            continue
-        usable.append(topos)
+    the committed one; history only refreshes the expected values."""
+    entries = list(load_history_file(history_file))
+    if history_dir:
+        for path in sorted(glob.glob(os.path.join(history_dir, "*.json"))):
+            try:
+                topos, scale, _ = load_topos(path)
+            except (OSError, ValueError):
+                continue  # a corrupt cached artifact must not wedge the gate
+            if topos:  # an empty artifact must not consume a window slot
+                entries.append((topos, scale))
+    usable = [topos for topos, scale in entries
+              if not (cur_scale is not None and scale is not None
+                      and scale != cur_scale)]
     usable = usable[-limit:]
-    per_topo = {}
+    per_col = {}
     for topos in usable:
         for topo, v in topos.items():
-            eps = v.get("shards1_events_per_sec", 0)
-            if eps > 0:
-                per_topo.setdefault(topo, []).append(eps)
+            for col in COLUMNS:
+                eps = v.get(col, 0)
+                if eps > 0:
+                    per_col.setdefault((topo, col), []).append(eps)
     effective = {t: dict(v) for t, v in committed.items()}
-    for topo, samples in per_topo.items():
-        if topo in effective:
-            effective[topo]["shards1_events_per_sec"] = median(samples)
+    for (topo, col), samples in per_col.items():
+        if topo in effective and effective[topo].get(col, 0) > 0:
+            effective[topo][col] = median(samples)
     return effective, len(usable)
 
 
@@ -129,30 +174,45 @@ def gate(current, committed, tolerance, calibrate, hard_floor, pr2=None,
 
     pr2 = pr2 or {}
     for topo, cur in sorted(current.items()):
-        eps = cur.get("shards1_events_per_sec", 0)
-        base = committed.get(topo, {}).get("shards1_events_per_sec", 0)
-        pr2_eps = pr2.get(f"{topo}_events_per_sec", 0)
-        if base <= 0:
-            rows.append((topo, pr2_eps, base, eps, None, "new (no baseline)"))
-            continue
-        allowed = base * factor * (1.0 - tolerance)
-        floor_base = floors.get(topo, {}).get("shards1_events_per_sec", 0)
-        floor = (floor_base if floor_base > 0 else base) * hard_floor
-        delta = eps / base - 1.0
-        status = "ok"
-        if eps < allowed:
-            status = "REGRESSION"
-            failures.append(
-                f"{topo}: {eps:,.0f} ev/s is below the gate "
-                f"({allowed:,.0f} = committed {base:,.0f} x machine-factor "
-                f"{factor:.2f} x (1 - {tolerance:.2f}))")
-        elif eps < floor:
-            status = "REGRESSION (hard floor)"
-            failures.append(
-                f"{topo}: {eps:,.0f} ev/s is below the hard floor "
-                f"({floor:,.0f} = {hard_floor:.2f} x committed "
-                f"{floor / hard_floor:,.0f})")
-        rows.append((topo, pr2_eps, base, eps, delta, status))
+        for col in COLUMNS:
+            eps = cur.get(col, 0)
+            base = committed.get(topo, {}).get(col, 0)
+            if eps <= 0 and base <= 0:
+                continue  # column swept by neither side
+            nshards = col[len("shards"):col.index("_")]
+            label = topo if col == COLUMNS[0] else f"{topo}@{nshards}sh"
+            pr2_eps = (pr2.get(f"{topo}_events_per_sec", 0)
+                       if col == COLUMNS[0] else 0)
+            if base <= 0:
+                rows.append((label, pr2_eps, base, eps, None,
+                             "new (no baseline)"))
+                continue
+            if eps <= 0:
+                # The committed baseline gates this column; a sweep that
+                # stopped producing it must not shrink the gated surface.
+                failures.append(
+                    f"{label}: committed baseline records {base:,.0f} ev/s "
+                    "but the current run has no such column")
+                rows.append((label, pr2_eps, base, eps, None, "MISSING"))
+                continue
+            allowed = base * factor * (1.0 - tolerance)
+            floor_base = floors.get(topo, {}).get(col, 0)
+            floor = (floor_base if floor_base > 0 else base) * hard_floor
+            delta = eps / base - 1.0
+            status = "ok"
+            if eps < allowed:
+                status = "REGRESSION"
+                failures.append(
+                    f"{label}: {eps:,.0f} ev/s is below the gate "
+                    f"({allowed:,.0f} = committed {base:,.0f} x "
+                    f"machine-factor {factor:.2f} x (1 - {tolerance:.2f}))")
+            elif eps < floor:
+                status = "REGRESSION (hard floor)"
+                failures.append(
+                    f"{label}: {eps:,.0f} ev/s is below the hard floor "
+                    f"({floor:,.0f} = {hard_floor:.2f} x committed "
+                    f"{floor / hard_floor:,.0f})")
+            rows.append((label, pr2_eps, base, eps, delta, status))
     return failures, rows, factor
 
 
@@ -292,6 +352,85 @@ def self_test():
         effective, n = rolling_baseline(committed, os.path.join(d, "none"), 3)
         assert n == 0 and effective == committed
 
+    # Multi-shard columns gate like shards1: a scaling-path regression
+    # fails even when sequential throughput is healthy, and a sweep that
+    # silently drops a committed column fails.
+    committed8 = {
+        "t3_4096": {"shards1_events_per_sec": 400_000,
+                    "shards8_events_per_sec": 1_300_000,
+                    "shards16_events_per_sec": 1_250_000,
+                    "deterministic": True},
+    }
+
+    def run8(current):
+        failures, rows, _ = gate(current, committed8, tolerance=0.25,
+                                 calibrate=False, hard_floor=0.25)
+        return failures, rows
+
+    healthy8 = {
+        "t3_4096": {"shards1_events_per_sec": 410_000,
+                    "shards8_events_per_sec": 1_280_000,
+                    "shards16_events_per_sec": 1_300_000,
+                    "deterministic": True},
+    }
+    f8, rows8 = run8(healthy8)
+    assert f8 == [], "healthy multi-shard columns must pass"
+    assert (any(r[0] == "t3_4096@8sh" for r in rows8) and
+            any(r[0] == "t3_4096@16sh" for r in rows8)), \
+        "multi-shard columns must be visible as their own rows"
+    slow8 = {
+        "t3_4096": {"shards1_events_per_sec": 410_000,
+                    "shards8_events_per_sec": 800_000,  # -38% at 8 shards
+                    "shards16_events_per_sec": 1_300_000,
+                    "deterministic": True},
+    }
+    f8, _ = run8(slow8)
+    assert any("@8sh" in m for m in f8), \
+        "a scaling-path regression must fail with shards1 healthy"
+    dropped8 = {
+        "t3_4096": {"shards1_events_per_sec": 410_000,
+                    "deterministic": True},
+    }
+    f8, _ = run8(dropped8)
+    assert any("no such column" in m for m in f8), \
+        "dropping a committed multi-shard column must fail"
+
+    # The committed history file seeds the rolling window (it survives
+    # cache eviction); cache-dir runs are newer and extend it, and the
+    # per-column medians cover the multi-shard columns too.
+    with tempfile.TemporaryDirectory() as d:
+        hist = os.path.join(d, "BENCH_history.json")
+        with open(hist, "w") as f:
+            json.dump({"runs": [
+                {"topos": {"t3_4096": {"shards1_events_per_sec": 440_000,
+                                       "shards8_events_per_sec": 1_400_000,
+                                       "deterministic": True}}},
+                {"topos": {"t3_4096": {"shards1_events_per_sec": 460_000,
+                                       "shards8_events_per_sec": 1_500_000,
+                                       "deterministic": True}}},
+            ]}, f)
+        eff, n = rolling_baseline(committed8, None, 3, history_file=hist)
+        assert n == 2, "file-only history must fill the window"
+        assert eff["t3_4096"]["shards1_events_per_sec"] == 450_000
+        assert eff["t3_4096"]["shards8_events_per_sec"] == 1_450_000, \
+            "multi-shard columns take the rolling median too"
+        assert eff["t3_4096"]["shards16_events_per_sec"] == 1_250_000, \
+            "columns without history keep the committed value"
+        cache = os.path.join(d, "cache")
+        os.mkdir(cache)
+        with open(os.path.join(cache, "run-00000001.json"), "w") as f:
+            json.dump({"engine": {"topos": {"t3_4096": {
+                "shards1_events_per_sec": 480_000,
+                "deterministic": True}}}}, f)
+        eff, n = rolling_baseline(committed8, cache, 3, history_file=hist)
+        assert n == 3, "window = committed history + cache tail"
+        assert eff["t3_4096"]["shards1_events_per_sec"] == 460_000, \
+            "median of {440k, 460k, 480k} with cache runs newest"
+        # A corrupt or absent history file degrades to dir-only history.
+        eff, n = rolling_baseline(committed8, cache, 3,
+                                  history_file=os.path.join(d, "no.json"))
+        assert n == 1
+
     # The hard floor stays anchored to the *committed* value even when
     # the rolling median has already drifted far below it: a run inside
     # the tolerance band of a degraded median still fails the floor, so
@@ -327,6 +466,10 @@ def main():
                     help="directory of bench jsons from previous runs; "
                          "gates on the median of the last N instead of "
                          "the single committed baseline")
+    ap.add_argument("--history-file",
+                    help="committed BENCH_history.json (per-PR runs, "
+                         "oldest first); read before --history so the "
+                         "rolling window survives cache eviction")
     ap.add_argument("--history-limit", type=int, default=3,
                     help="rolling window size (default 3)")
     ap.add_argument("--optional-topos", default="t3_16384",
@@ -349,7 +492,8 @@ def main():
         print("perf_gate: no engine.topos in", args.current, file=sys.stderr)
         return 1
     baseline, n_history = rolling_baseline(committed, args.history,
-                                           args.history_limit, cur_scale)
+                                           args.history_limit, cur_scale,
+                                           history_file=args.history_file)
 
     optional = frozenset(
         t for t in args.optional_topos.split(",") if t)

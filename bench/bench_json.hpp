@@ -16,6 +16,8 @@
 // containing braces. Hand-edited files should keep that property.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -31,10 +33,11 @@ inline std::string bench_json_path() {
   return env != nullptr && *env != '\0' ? env : "BENCH_engine.json";
 }
 
-// Process peak RSS (VmHWM) in KB from /proc/self/status; 0 where the
-// proc interface is unavailable. Note VmHWM is a process-wide high-water
-// mark: sampled per bench row it is monotone across rows, so the first
-// row that jumps is the one that grew the footprint.
+// Process peak RSS (VmHWM) in KB from /proc/self/status, falling back to
+// getrusage where proc is unavailable. Note the ru_maxrss unit trap:
+// Linux reports KB, macOS reports bytes. VmHWM is a process-wide
+// high-water mark: sampled per bench row it is monotone across rows, so
+// the first row that jumps is the one that grew the footprint.
 inline long read_peak_rss_kb() {
   std::ifstream in("/proc/self/status");
   std::string line;
@@ -42,6 +45,14 @@ inline long read_peak_rss_kb() {
     if (line.rfind("VmHWM:", 0) == 0) {
       return std::strtol(line.c_str() + 6, nullptr, 10);
     }
+  }
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<long>(ru.ru_maxrss / 1024);  // bytes -> KB
+#else
+    return static_cast<long>(ru.ru_maxrss);  // already KB on Linux
+#endif
   }
   return 0;
 }

@@ -69,16 +69,20 @@ void sweep(const char* name, const TopoGraph& topo, Time stop,
   std::printf("%-8s %14s %12s %12s %14s %6s %10s  %s\n", "shards", "events",
               "wall(s)", "Mevents/s", "flows done", "det", "rss(MB)",
               "per-shard events");
-  std::size_t base_idx = 0;
+  // The sweep's first row is the determinism reference (with the default
+  // lists that is the 1-shard run; a BFC_FIG15_SHARDS override may start
+  // elsewhere — any point works, determinism is pairwise-transitive).
+  const std::size_t base_idx = all.size();
   double single_eps = 0, best_multi_eps = 0;
   for (int shards : shard_counts) {
     all.push_back(run_one(name, topo, shards, stop));
     ScaleRow& row = all.back();
+    if (all.size() - 1 != base_idx) {
+      row.det = same_stats(all[base_idx].exp, row.exp);
+    }
     if (shards == 1) {
-      base_idx = all.size() - 1;
       single_eps = row.events_per_sec;
     } else {
-      row.det = same_stats(all[base_idx].exp, row.exp);
       best_multi_eps = std::max(best_multi_eps, row.events_per_sec);
     }
     std::printf("%-8d %14llu %12.3f %12.2f %14llu %6s %10.1f  %s\n", shards,
@@ -155,7 +159,22 @@ void write_json(const std::vector<ScaleRow>& rows) {
          << static_cast<long long>(r.events_per_sec) << ", \"det\": "
          << (r.det ? "true" : "false") << ", \"events_stolen\": "
          << r.exp.events_stolen << ", \"peak_rss_kb\": "
-         << r.peak_rss_kb << ", \"shard_events\": "
+         << r.peak_rss_kb
+         // Telemetry rollups (BFC_METRICS registry; main() turns it on so
+         // the det column continuously proves metrics never perturb the
+         // simulation). Scheduling-dependent — diff with care.
+         << ", \"clock_waits\": " << r.exp.clock_waits
+         << ", \"clock_wait_us\": "
+         << static_cast<long long>(r.exp.clock_wait_ns / 1000)
+         << ", \"steal_batches\": " << r.exp.steal_batches
+         << ", \"ring_flush_events\": " << r.exp.ring_flush_events
+         << ", \"wheel_hw\": " << (r.exp.wheel_near_hw + r.exp.wheel_far_hw)
+         << ", \"inbox_hw\": " << r.exp.inbox_occ_hw
+         // Device high-water marks: deterministic, always on.
+         << ", \"ports_hw\": "
+         << (r.exp.egress_ports_hw + r.exp.ingress_ports_hw)
+         << ", \"slab_hw\": " << r.exp.receiver_slots_hw
+         << ", \"shard_events\": "
          << shard_events_str(r.exp) << "}" << (i + 1 < rows.size() ? "," : "")
          << "\n";
   }
@@ -199,7 +218,39 @@ bool topo_selected(const char* name, bool default_on = true) {
   return false;
 }
 
+// BFC_FIG15_SHARDS overrides the shard-count lists (comma-separated,
+// e.g. "1,4" — or just "4" for a single traced point); the first entry
+// becomes the determinism reference. Malformed values abort, same
+// convention as every other knob.
+std::vector<int> shard_list_override(const std::vector<int>& fallback) {
+  const char* env = std::getenv("BFC_FIG15_SHARDS");
+  if (env == nullptr || *env == '\0') return fallback;
+  std::vector<int> out;
+  const std::string list(env);
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    char* stop = nullptr;
+    const long v = std::strtol(list.c_str() + pos, &stop, 10);
+    if (stop != list.c_str() + end || v < 1 || v > 256) {
+      std::fprintf(stderr,
+                   "fig15_scale: BFC_FIG15_SHARDS='%s' is not a comma list "
+                   "of shard counts in [1,256]\n", env);
+      std::abort();
+    }
+    out.push_back(static_cast<int>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 int main() {
+  // Run the metrics registry by default: the determinism column then
+  // continuously proves telemetry never perturbs the simulation. An
+  // explicit BFC_METRICS=0 in the environment still wins (overwrite=0).
+  setenv("BFC_METRICS", "1", 0);
   bench::header("Fig. 15", "engine throughput vs fabric size x shard count",
                 "multi-shard events/sec exceeds single-shard on the "
                 "full-scale (3-tier, 1024+-host) workloads, and every "
@@ -216,8 +267,8 @@ int main() {
   std::vector<ScaleRow> rows;
   // Small fabrics sweep to 8 shards; the 4096/16384-host presets add a
   // 16-shard point (their partitions have the pods to feed it).
-  const std::vector<int> small_counts{1, 2, 4, 8};
-  const std::vector<int> big_counts{1, 2, 4, 8, 16};
+  const std::vector<int> small_counts = shard_list_override({1, 2, 4, 8});
+  const std::vector<int> big_counts = shard_list_override({1, 2, 4, 8, 16});
   if (topo_selected("t1_128")) {
     sweep("t1_128", TopoGraph::fat_tree(FatTreeConfig::t1()), t1_stop,
           small_counts, rows);

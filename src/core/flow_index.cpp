@@ -16,6 +16,7 @@ SendState FlowIndex::classify(const Flow* f, Time now) const {
 
 void FlowIndex::place(Flow* f, SendState s, Time now) {
   (void)now;
+  if (s != f->send_state) ++transitions_;
   f->send_state = s;
   switch (s) {
     case SendState::kEligible:

@@ -102,6 +102,10 @@ class FlowIndex {
   const std::deque<Flow*>& eligible_queue() const { return eligible_; }
   std::size_t pacing_size() const { return pacing_.size(); }
   std::size_t paused_size() const { return paused_.size(); }
+  // Sendability-class changes filed through place() (ack/RTO/send
+  // re-derivations, snapshot and pacing re-sorts). A pure function of
+  // the event history — deterministic at any shard count. Telemetry.
+  std::uint64_t transitions() const { return transitions_; }
 
  private:
   bool paused(const Flow* f) const {
@@ -115,6 +119,7 @@ class FlowIndex {
   std::vector<Flow*> paused_;    // swept by on_snapshot
   std::shared_ptr<const BloomBits> bits_;
   Time next_gate_ = kNoGate;
+  std::uint64_t transitions_ = 0;  // class changes filed through place()
   int hashes_ = 0;
   bool bfc_ = false;
 };

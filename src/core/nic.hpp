@@ -66,6 +66,7 @@ class Nic : public Device {
 
   // Receiver-slab introspection (memory assertions, reports).
   std::size_t receiver_slots() const { return rcv_slab_.live_slots(); }
+  std::size_t receiver_slots_hw() const { return rcv_slab_.hw_slots(); }
   std::size_t receiver_bytes() const { return rcv_slab_.bytes(); }
   const FlowIndex& flow_index() const { return index_; }
 

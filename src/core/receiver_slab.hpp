@@ -42,6 +42,8 @@ class ReceiverSlab {
         free_.pop_back();
         slab_[static_cast<std::size_t>(f->rcv_slot)] = ReceiverState{};
       }
+      const std::size_t live = live_slots();
+      if (live > hw_) hw_ = live;
     }
     return slab_[static_cast<std::size_t>(f->rcv_slot)];
   }
@@ -61,6 +63,9 @@ class ReceiverSlab {
   // Live (allocated, unreleased) slots — the memory-assertion hook.
   std::size_t live_slots() const { return slab_.size() - free_.size(); }
   std::size_t capacity_slots() const { return slab_.size(); }
+  // High-water live slots: flows concurrently in flight at this receiver.
+  // Sim-time-driven, hence deterministic at any shard count.
+  std::size_t hw_slots() const { return hw_; }
 
   std::size_t bytes() const {
     std::size_t b = slab_.capacity() * sizeof(ReceiverState) +
@@ -72,6 +77,7 @@ class ReceiverSlab {
  private:
   std::vector<ReceiverState> slab_;
   std::vector<std::uint32_t> free_;  // LIFO reuse keeps slots warm
+  std::size_t hw_ = 0;               // high-water live slots
 };
 
 }  // namespace bfc

@@ -16,10 +16,22 @@ constexpr Time kTau = microseconds(1);
 // periodically retransmitted, so losing any one frame is harmless).
 constexpr Time kRefresh = microseconds(5);
 // A quiescent port's slab state is released once the port has sat idle
-// this long: comfortably past any pause-feedback transient, so reclaim
-// never races active traffic, while a long-lived hot port is materialized
-// exactly once.
-constexpr Time kReclaimHorizon = microseconds(100);
+// past its reclaim horizon: a multiple of the port's own pause-feedback
+// round trip (2 * link delay + kTau), so the horizon scales with the
+// loop whose transients reclaim must not race — a 1 us fabric hop frees
+// its slabs ~4x sooner than the old fixed 100 us, while a 200 us
+// cross-DC link waits out its genuinely slower feedback. Clamped below
+// so sub-us links don't thrash materialize/release cycles and long-haul
+// links don't postpone reclaim past a millisecond.
+constexpr Time kReclaimRttMult = 8;
+constexpr Time kReclaimMin = microseconds(25);
+constexpr Time kReclaimMax = milliseconds(1);
+
+Time reclaim_horizon_for(Time link_delay) {
+  const Time h = kReclaimRttMult * (2 * link_delay + kTau);
+  if (h < kReclaimMin) return kReclaimMin;
+  return h > kReclaimMax ? kReclaimMax : h;
+}
 // ECN marking ramp, expressed in time-at-line-rate of the egress port.
 constexpr double kEcnKminSec = 5e-6;
 constexpr double kEcnKmaxSec = 20e-6;
@@ -59,6 +71,14 @@ Switch::Switch(Network& net, int node, std::int64_t buffer_cap)
   ingress_.resize(ports_->size());
   saved_rr_.assign(ports_->size(), 0);
   pfc_quota_ = buffer_cap_ / static_cast<std::int64_t>(ports_->size());
+  // One sweep cadence per switch — the tightest port horizon — computed
+  // from the topology alone, so arming is deterministic at any shard
+  // count even though each port is judged against its own horizon.
+  reclaim_tick_ = kReclaimMax;
+  for (const PortInfo& port : *ports_) {
+    const Time h = reclaim_horizon_for(port.delay);
+    if (h < reclaim_tick_) reclaim_tick_ = h;
+  }
 }
 
 Switch::Egress& Switch::ensure_egress(int port) {
@@ -83,6 +103,9 @@ Switch::Egress& Switch::ensure_egress(int port) {
     // slab round trip is invisible to scheduling (always < base_queues_
     // for the fixed-queue schemes; dynamic-queue schemes never reclaim).
     eg.rr = saved_rr_[static_cast<std::size_t>(port)];
+    eg.reclaim_horizon = reclaim_horizon_for(eg.link.delay);
+    const std::size_t live = live_egress_ports();
+    if (live > eg_live_hw_) eg_live_hw_ = live;
     arm_reclaim();
   }
   return *slot;
@@ -107,6 +130,9 @@ Switch::Ingress& Switch::ensure_ingress(int port) {
       in.bloom = std::make_unique<CountingBloom>(p.bloom_bytes,
                                                  p.bloom_hashes);
     }
+    in.reclaim_horizon = reclaim_horizon_for(link.delay);
+    const std::size_t live = live_ingress_ports();
+    if (live > in_live_hw_) in_live_hw_ = live;
     arm_reclaim();
   }
   return *slot;
@@ -296,6 +322,9 @@ void Switch::enqueue(Egress& eg, int eg_port, Packet& pkt, int in_port) {
       e->in_port = in_port;
       ++eg.resume[static_cast<std::size_t>(q)].paused;
       ++bfc_totals_.pauses;
+      // Pause-span telemetry: the span opens when the first flow through
+      // this ingress pauses and closes when the last one resumes.
+      if (in.paused_flows++ == 0) in.pause_t0 = shard_->now();
       in.bloom->add(vfid);
       in.snapshot_dirty = true;
       arm_refresh();
@@ -643,6 +672,12 @@ void Switch::do_resume(FlowEntry* e) {
   Egress& eeg = *egress_[static_cast<std::size_t>(e->egress)];
   --eeg.resume[static_cast<std::size_t>(e->queue)].paused;
   ++bfc_totals_.resumes;
+  if (--in.paused_flows == 0) {
+    if (obs::ShardObs* o = shard_->obs()) {
+      o->span(obs::SpanKind::kPause, in.pause_t0, shard_->now(), node_,
+              in_port);
+    }
+  }
   in.bloom->remove(e->vfid);
   in.snapshot_dirty = true;
   in.last_active = shard_->now();
@@ -790,7 +825,7 @@ bool Switch::ingress_quiescent(const Ingress& in) const {
 void Switch::arm_reclaim() {
   if (reclaim_armed_) return;
   reclaim_armed_ = true;
-  Event* e = shard_->make(node_, shard_->now() + kReclaimHorizon);
+  Event* e = shard_->make(node_, shard_->now() + reclaim_tick_);
   e->fn = &Switch::ev_reclaim;
   e->obj = this;
   shard_->post_local(e);
@@ -802,12 +837,15 @@ void Switch::ev_reclaim(Event& e) {
 
 void Switch::reclaim_sweep() {
   reclaim_armed_ = false;
-  const Time now = shard_->now();
+  ++reclaim_sweeps_;
+  const Time sweep_t0 = shard_->now();
+  const Time now = sweep_t0;
+  std::uint64_t freed = 0;
   bool live = false;
   for (std::size_t i = 0; i < egress_.size(); ++i) {
     Egress* eg = egress_[i].get();
     if (eg != nullptr && egress_quiescent(*eg) &&
-        now - eg->last_active >= kReclaimHorizon) {
+        now - eg->last_active >= eg->reclaim_horizon) {
       // The scan pointer and PFC pause-time survive the slab: scheduling
       // resumes exactly where it left off, pfc_fractions stays exact.
       saved_rr_[i] = eg->rr;
@@ -815,14 +853,23 @@ void Switch::reclaim_sweep() {
           net_.topo().tier_of(eg->link.peer))] += eg->pfc_ns;
       egress_[i].reset();
       eg = nullptr;
+      ++freed;
     }
     Ingress* in = ingress_[i].get();
     if (in != nullptr && ingress_quiescent(*in) &&
-        now - in->last_active >= kReclaimHorizon) {
+        now - in->last_active >= in->reclaim_horizon) {
       ingress_[i].reset();
       in = nullptr;
+      ++freed;
     }
     live = live || eg != nullptr || in != nullptr;
+  }
+  if (freed > 0) {
+    reclaimed_ports_ += freed;
+    if (obs::ShardObs* o = shard_->obs()) {
+      o->span(obs::SpanKind::kReclaim, sweep_t0, sweep_t0, node_,
+              static_cast<std::int64_t>(freed));
+    }
   }
   if (live) arm_reclaim();
 }

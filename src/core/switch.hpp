@@ -81,6 +81,14 @@ class Switch : public Device {
   std::size_t live_ingress_ports() const;
   std::size_t table_entries() const { return table_.size(); }
   std::size_t table_chunks() const { return table_.allocated_chunks(); }
+  // High-water live port slabs and reclaim activity. Pure functions of
+  // the simulation (materialization and reclaim both run on sim time),
+  // so these are deterministic at any shard count — unlike the gated
+  // engine telemetry — and always on.
+  std::size_t egress_ports_hw() const { return eg_live_hw_; }
+  std::size_t ingress_ports_hw() const { return in_live_hw_; }
+  std::uint64_t reclaim_sweep_count() const { return reclaim_sweeps_; }
+  std::uint64_t reclaimed_port_count() const { return reclaimed_ports_; }
 
   void arrive(Packet& pkt, int in_port) override;
   void on_bfc_snapshot(int egress_port,
@@ -125,6 +133,7 @@ class Switch : public Device {
     Time pfc_since = 0;
     std::int64_t pfc_ns = 0;
     std::shared_ptr<const BloomBits> pause_bits;  // peer's paused VFIDs
+    Time reclaim_horizon = 0;             // idle time before slab release
     // Ideal-FQ: per-flow dynamic queues.
     std::unordered_map<std::uint64_t, int> flow_q;
     std::vector<int> free_q;
@@ -135,9 +144,14 @@ class Switch : public Device {
     std::unique_ptr<CountingBloom> bloom;   // paused VFIDs, this ingress
     std::int64_t horizon_bytes = 0;         // pause threshold for this link
     Time hrtt = 0;                          // pause-feedback round trip
+    Time reclaim_horizon = 0;               // idle time before slab release
     std::int64_t resident_bytes = 0;        // PFC accounting
     bool pfc_sent = false;
     bool snapshot_dirty = false;
+    // Pause-span telemetry: flows currently BFC-paused through this
+    // ingress, and when the port last went from none to some.
+    int paused_flows = 0;
+    Time pause_t0 = 0;
   };
 
   static void ev_tx_done(Event& e);         // obj=Switch, u.misc.i1=egress
@@ -212,6 +226,14 @@ class Switch : public Device {
   // tier (pfc_fractions stays exact).
   std::vector<int> saved_rr_;
   std::int64_t reclaimed_pfc_ns_[6] = {0, 0, 0, 0, 0, 0};
+  // Slab churn telemetry (deterministic; see accessors above).
+  std::size_t eg_live_hw_ = 0;
+  std::size_t in_live_hw_ = 0;
+  std::uint64_t reclaim_sweeps_ = 0;
+  std::uint64_t reclaimed_ports_ = 0;
+  // Sweep re-arm period: the shortest per-port reclaim horizon on this
+  // switch (each port is still judged against its own horizon).
+  Time reclaim_tick_ = 0;
 };
 
 }  // namespace bfc

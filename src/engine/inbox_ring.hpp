@@ -100,6 +100,15 @@ class InboxRing {
   std::uint64_t pushed() const { return pushed_; }
   std::uint64_t overflowed() const { return overflowed_; }
 
+  // Undrained events currently visible in the ring (excludes the
+  // producer-private overflow FIFO). Callable from either side:
+  // relaxed loads make it an instantaneous approximation, which is all
+  // the occupancy gauge needs. Telemetry only.
+  std::size_t size_approx() const {
+    return tail_.load(std::memory_order_relaxed) -
+           head_.load(std::memory_order_relaxed);
+  }
+
   // ---- consumer side -------------------------------------------------
 
   // Pops every visible event in push order into `fn(Event*)`. The tail

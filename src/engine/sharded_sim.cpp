@@ -185,6 +185,11 @@ void Shard::run_window(Time wend, Time stop) {
     wheel_.prefetch_next();
     now_ = e->at;
     ++events_run_;
+    // Telemetry taps. Off costs one always-false compare (obs_epoch_ is
+    // the max() sentinel) and one null test; neither touches sim state,
+    // so results are bit-identical either way.
+    if (e->at >= obs_epoch_) obs_epoch_sample(e->at);
+    if (flight_ != nullptr) flight_->push(e->at, e->key);
     if (e->fn != nullptr) {
       e->fn(*e);
     } else {
@@ -192,6 +197,39 @@ void Shard::run_window(Time wend, Time stop) {
     }
     recycle(e);
   }
+}
+
+void Shard::obs_epoch_sample(Time t) {
+  obs::ShardObs* o = obs_;
+  o->count(obs::kEpochSamples);
+  const std::size_t wheel_total = wheel_.size();
+  const std::size_t wheel_far = wheel_.far_size();
+  o->gauge_set(obs::kWheelNear, wheel_total - wheel_far);
+  o->gauge_set(obs::kWheelFar, wheel_far);
+  std::size_t inbox = 0;
+  if (!engine_->rings_.empty()) {
+    const int S = engine_->n_shards();
+    for (int src = 0; src < S; ++src) {
+      if (src != idx_) inbox += engine_->ring(src, idx_).size_approx();
+    }
+  }
+  o->gauge_set(obs::kInboxOccupancy, inbox);
+  o->gauge_set(obs::kEventBlocks, pool_.blocks_allocated());
+  o->gauge_set(obs::kArenaBlocks, arena_.blocks_allocated() +
+                                      acks_.blocks_allocated() +
+                                      cold_.blocks_allocated());
+  o->histo_add(obs::kWheelDepth, wheel_total);
+  o->histo_add(obs::kInboxDepth, inbox);
+  if (o->trace) {
+    o->span(obs::SpanKind::kGaugeSample, t, t, obs::kWheelNear,
+            static_cast<std::int64_t>(wheel_total - wheel_far));
+    o->span(obs::SpanKind::kGaugeSample, t, t, obs::kWheelFar,
+            static_cast<std::int64_t>(wheel_far));
+    o->span(obs::SpanKind::kGaugeSample, t, t, obs::kInboxOccupancy,
+            static_cast<std::int64_t>(inbox));
+  }
+  // Next epoch strictly after t: an idle stretch advances in one step.
+  obs_epoch_ += ((t - obs_epoch_) / obs_period_ + 1) * obs_period_;
 }
 
 ShardedSimulator::ShardedSimulator(const TopoGraph& topo, int n_shards,
@@ -302,6 +340,23 @@ ShardedSimulator::ShardedSimulator(const TopoGraph& topo, int n_shards,
     shards_[static_cast<std::size_t>(s)]->steal_cap_ =
         (cap == kTimeInf || cap <= 0) ? 0 : cap;
   }
+
+  // Telemetry (obs/metrics.hpp): resolved per engine instance like every
+  // other knob. A null telemetry_ leaves the shards' obs_/flight_ null
+  // and obs_epoch_ at the never-reached sentinel — the entire off-path.
+  telemetry_ = obs::Telemetry::from_env(S);
+  if (telemetry_ != nullptr) {
+    const obs::Telemetry::Config& tc = telemetry_->config();
+    for (int s = 0; s < S; ++s) {
+      Shard& sh = *shards_[static_cast<std::size_t>(s)];
+      if (tc.metrics) {
+        sh.obs_ = &telemetry_->shard(s);
+        sh.obs_period_ = tc.epoch;
+        sh.obs_epoch_ = tc.epoch;
+      }
+      if (tc.flight > 0) sh.flight_ = &telemetry_->flight(s);
+    }
+  }
 }
 
 void ShardedSimulator::at(Time t, std::function<void()> fn) {
@@ -403,7 +458,7 @@ void ShardedSimulator::worker_barrier(int s, Time stop) {
 // deadlock-free; an idle stretch costs each shard a few clock loads per
 // advance instead of two global barriers per window.
 
-Time ShardedSimulator::earliest_inbound(int s) const {
+Time ShardedSimulator::earliest_inbound(int s, int* argmin) const {
   const int S = n_shards();
   Time eit = kTimeInf;
   for (int m = 0; m < S; ++m) {
@@ -413,7 +468,10 @@ Time ShardedSimulator::earliest_inbound(int s) const {
     const Time c = clock_[static_cast<std::size_t>(m)].t.load(
         std::memory_order_acquire);
     const Time arrive = c >= kTimeInf - d ? kTimeInf : c + d;
-    if (arrive < eit) eit = arrive;
+    if (arrive < eit) {
+      eit = arrive;
+      if (argmin != nullptr) *argmin = m;
+    }
   }
   return eit;
 }
@@ -441,10 +499,15 @@ bool ShardedSimulator::publish_clock(int s, Time eit) {
   // neighbor wheel while every clock stays capped — that is real
   // progress, not a protocol deadlock.
   bool flushed = false;
+  std::uint64_t flushed_events = 0;
   for (int d = 0; d < S; ++d) {
     if (d == s) continue;
     InboxRing& r = ring(s, d);
-    if (r.flush_overflow() > 0) flushed = true;
+    const std::size_t moved = r.flush_overflow();
+    if (moved > 0) {
+      flushed = true;
+      flushed_events += moved;
+    }
     if (!r.overflow_empty()) {
       // Parked events are invisible to d until flushed; hold the clock
       // far enough back that d's horizon cannot pass them. overflow_min_at
@@ -455,9 +518,13 @@ bool ShardedSimulator::publish_clock(int s, Time eit) {
     }
   }
   if (b < 0) b = 0;
+  if (sh.obs_ != nullptr && flushed_events > 0) {
+    sh.obs_->count(obs::kRingFlushEvents, flushed_events);
+  }
   std::atomic<Time>& c = clock_[static_cast<std::size_t>(s)].t;
   if (b <= c.load(std::memory_order_relaxed)) return flushed;  // monotone
   c.store(b, std::memory_order_release);
+  if (sh.obs_ != nullptr) sh.obs_->count(obs::kClockAdvances);
   return true;
 }
 
@@ -485,13 +552,27 @@ ShardedSimulator::Step ShardedSimulator::channel_step(int s, Time stop,
                                                       bool threaded,
                                                       bool* clock_moved) {
   Shard& sh = *shards_[static_cast<std::size_t>(s)];
-  const Time eit = earliest_inbound(s);  // acquire: orders the drain below
+  obs::ShardObs* o = sh.obs_;
+  int peer = -1;
+  const Time eit =  // acquire: orders the drain below
+      earliest_inbound(s, o != nullptr ? &peer : nullptr);
   const std::size_t drained = drain_rings(s);
   const bool moved = publish_clock(s, eit);
   if (clock_moved != nullptr) *clock_moved = moved || drained > 0;
   const Time h = eit > stop ? stop + 1 : eit;
   const Time wmin = sh.wheel_.min_time();
   if (wmin < h) {
+    if (o != nullptr && o->waiting) {
+      // The wait that began on an earlier blocked step ends here: local
+      // work became runnable at wmin (sim time), after sitting since
+      // wait_t0 on wait_peer's clock.
+      const Time t1 = wmin > o->wait_t0 ? wmin : o->wait_t0;
+      o->count(obs::kClockWaitNs,
+               static_cast<std::uint64_t>(t1 - o->wait_t0));
+      o->span(obs::SpanKind::kClockWait, o->wait_t0, t1, o->wait_peer,
+              t1 - o->wait_t0);
+      o->waiting = false;
+    }
     if (steal_on_ && threaded && sh.steal_cap_ > 0 &&
         hungry_.load(std::memory_order_relaxed) > 0 &&
         sh.wheel_.size() >= steal_threshold_) {
@@ -502,6 +583,14 @@ ShardedSimulator::Step ShardedSimulator::channel_step(int s, Time stop,
     return Step::kRan;
   }
   if (eit > stop && wmin > stop && overflow_clear(s, stop)) {
+    if (o != nullptr && o->waiting) {
+      const Time t1 = stop > o->wait_t0 ? stop : o->wait_t0;
+      o->count(obs::kClockWaitNs,
+               static_cast<std::uint64_t>(t1 - o->wait_t0));
+      o->span(obs::SpanKind::kClockWait, o->wait_t0, t1, o->wait_peer,
+              t1 - o->wait_t0);
+      o->waiting = false;
+    }
     // Nothing below the horizon anywhere: later arrivals (if any) carry
     // t > stop and stay ringed/wheeled for the next run_until(). The
     // terminal clock releases every neighbor still waiting on us.
@@ -509,6 +598,14 @@ ShardedSimulator::Step ShardedSimulator::channel_step(int s, Time stop,
                                                 std::memory_order_release);
     sh.now_ = stop;
     return Step::kFinished;
+  }
+  // Stealing a neighbor's batch is useful wall-clock work, but this shard
+  // is still blocked on its neighbor's clock — the wait span stays open.
+  if (o != nullptr && !o->waiting) {
+    o->waiting = true;
+    o->wait_t0 = sh.now_;
+    o->wait_peer = peer;
+    o->count(obs::kClockWaits);
   }
   if (threaded && steal_on_ && try_steal_one(s)) return Step::kRan;
   return Step::kBlocked;
@@ -635,6 +732,11 @@ void ShardedSimulator::split_window(Shard& sh, Time w0, Time h, Time stop) {
       b->now = w0;
       b->events_run = 0;
       b->claimed_by = -1;
+      // Batch-private telemetry sinks mirror the owner's enablement
+      // (merge zeroes obs_store, so a recycled slot starts clean).
+      b->obs = sh.obs_ != nullptr ? &b->obs_store : nullptr;
+      b->obs_store.trace = sh.obs_ != nullptr && sh.obs_->trace;
+      b->flight = sh.flight_ != nullptr ? &b->flight_store : nullptr;
       b->state.store(kStealOffered, std::memory_order_relaxed);
       sh.active_.push_back(b);
       sh.group_slot_[static_cast<std::size_t>(g)] = slot;
@@ -651,6 +753,9 @@ void ShardedSimulator::split_window(Shard& sh, Time w0, Time h, Time stop) {
               return a->group < b->group;
             });
 
+  if (sh.obs_ != nullptr) {
+    sh.obs_->count(obs::kStealBatchesOffered, sh.active_.size());
+  }
   if (sh.active_.size() > 1) {
     {
       std::lock_guard<std::mutex> lk(steal_mu_);
@@ -720,6 +825,24 @@ void ShardedSimulator::split_window(Shard& sh, Time w0, Time h, Time stop) {
     b->deferred.clear();
     for (const auto& c : b->completions) sh.completions_.push_back(c);
     b->completions.clear();
+    // Telemetry merge rides the same group-order fold (the kStealDone
+    // acquire above orders the executor's batch writes before these
+    // reads). Only batches a neighbor actually ran become steal spans.
+    if (sh.obs_ != nullptr) {
+      if (b->claimed_by != sh.idx_) {
+        sh.obs_->count(obs::kStealBatchesStolen);
+        sh.obs_->span(obs::SpanKind::kSteal, b->w0,
+                      b->events_run > 0 ? b->now : b->w0, b->claimed_by,
+                      static_cast<std::int64_t>(b->events_run));
+      }
+      sh.obs_->merge_from(b->obs_store);
+    }
+    if (sh.flight_ != nullptr) {
+      for (const obs::FlightRec& fr : b->flight_store) {
+        sh.flight_->push(fr.at, fr.key);
+      }
+      b->flight_store.clear();
+    }
   }
   sh.now_ = maxt;
   sh.active_.clear();
@@ -745,6 +868,7 @@ void ShardedSimulator::execute_batch(StealBatch& b, int executor) {
     }
     b.now = e->at;
     ++b.events_run;
+    if (b.flight != nullptr) b.flight->push_back({e->at, e->key});
     e->fn(*e);  // closures never enter a batch (split_window pins them)
     b.owner->recycle(e);
   }

@@ -42,6 +42,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -51,6 +52,8 @@
 #include "engine/inbox_ring.hpp"
 #include "engine/packet_arena.hpp"
 #include "engine/timing_wheel.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace bfc {
@@ -98,6 +101,14 @@ struct StealBatch {
   std::vector<std::pair<std::uint64_t, Time>> completions;
   std::uint64_t events_run = 0;
   int claimed_by = -1;  // shard index of the executor
+  // Batch-private telemetry sinks (null when the owner's telemetry is
+  // off): the executor writes here, the owner folds them back in group
+  // order after the window — same handoff as `deferred`/`completions`,
+  // so telemetry recording never adds cross-thread traffic.
+  obs::ShardObs* obs = nullptr;                 // -> obs_store, or null
+  obs::ShardObs obs_store;
+  std::vector<obs::FlightRec>* flight = nullptr;  // -> flight_store
+  std::vector<obs::FlightRec> flight_store;
   std::atomic<int> state{0};  // kStealOffered/Claimed/Done (sharded_sim.cpp)
 };
 
@@ -137,6 +148,15 @@ class Shard {
   // Events of this shard that were executed by another shard's worker via
   // work stealing (a subset of events_run()).
   std::uint64_t events_stolen() const { return events_stolen_; }
+
+  // Telemetry sink for code executing on behalf of this shard, or null
+  // when telemetry is off (callers must check — the null test IS the
+  // off-switch). A stolen batch redirects to its private store, merged
+  // back by the owner in group order.
+  obs::ShardObs* obs() {
+    StealBatch* b = detail::tl_batch;
+    return b != nullptr && b->owner == this ? b->obs : obs_;
+  }
 
   // Fresh pooled event stamped with `src_entity`'s next sequence number,
   // clamped to the shard clock (the past is not addressable). The posting
@@ -191,6 +211,12 @@ class Shard {
   // Runs local events with timestamp < wend (and <= stop).
   void run_window(Time wend, Time stop);
 
+  // Epoch gauge/histogram sampling (obs/metrics.hpp): takes the sample
+  // due at obs_epoch_ and advances the epoch past `t`. Only called from
+  // run_window when t >= obs_epoch_; the sentinel below keeps that
+  // comparison false forever when metrics are off.
+  void obs_epoch_sample(Time t);
+
   ShardedSimulator* engine_ = nullptr;
   int idx_ = 0;
   Time now_ = 0;
@@ -210,6 +236,13 @@ class Shard {
   std::vector<std::unique_ptr<StealBatch>> batches_;
   std::vector<StealBatch*> active_;  // this window's batches, group order
   std::vector<Event*> scratch_;      // window pop buffer
+  // Telemetry (owned by engine_->telemetry_; null when off). obs_epoch_
+  // is the next sim-time sampling point — the max() sentinel makes the
+  // per-event check in run_window never fire when metrics are off.
+  obs::ShardObs* obs_ = nullptr;
+  obs::FlightRing* flight_ = nullptr;
+  Time obs_epoch_ = std::numeric_limits<Time>::max();
+  Time obs_period_ = 0;
 };
 
 class ShardedSimulator {
@@ -264,6 +297,11 @@ class ShardedSimulator {
   // often the ring capacity was the limit).
   std::uint64_t inbox_overflows() const;
 
+  // Engine telemetry root (obs/metrics.hpp), or null when every knob
+  // (BFC_METRICS/BFC_TRACE/BFC_FLIGHT) is off. The harness reads the
+  // merged registry and flight snapshots from here after a run.
+  obs::Telemetry* telemetry() { return telemetry_.get(); }
+
  private:
   friend class Shard;
 
@@ -287,7 +325,10 @@ class ShardedSimulator {
   void worker_channel(int s, Time stop);
   void run_channel_coop(Time stop);
   Step channel_step(int s, Time stop, bool threaded, bool* clock_moved);
-  Time earliest_inbound(int s) const;
+  // Earliest timestamp any other shard could still send to `s`. When
+  // `argmin` is non-null it receives the shard whose clock binds that
+  // minimum — the "blocking neighbor" of a clock-wait span.
+  Time earliest_inbound(int s, int* argmin = nullptr) const;
   // Flushes ring overflows, then raises this shard's published clock to
   // min(wheel min, earliest inbound, overflow caps); returns true if the
   // published value changed (the cooperative scheduler's progress signal).
@@ -335,6 +376,8 @@ class ShardedSimulator {
 
   std::atomic<int> barrier_arrived_{0};
   std::atomic<std::uint64_t> barrier_gen_{0};
+
+  std::unique_ptr<obs::Telemetry> telemetry_;
 };
 
 }  // namespace bfc

@@ -69,6 +69,9 @@ class TimingWheel {
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
+  // Events parked past the bucket horizon (the far heap); near occupancy
+  // is size() - far_size(). Telemetry only.
+  std::size_t far_size() const { return far_.size(); }
 
   // Warms the cache line of the event most likely to pop next while the
   // caller is still dispatching the current one.

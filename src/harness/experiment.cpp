@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace bfc {
 
 double bench_scale() {
@@ -165,6 +168,53 @@ ExperimentResult run_experiment(const TopoGraph& topo,
   r.sync = sim.sync_name();
   r.events_stolen = sim.events_stolen();
   r.inbox_overflows = sim.inbox_overflows();
+  // Device rollups: always on, deterministic (pure sim-time functions).
+  for (const Switch* sw : net.switches()) {
+    r.egress_ports_hw += sw->egress_ports_hw();
+    r.ingress_ports_hw += sw->ingress_ports_hw();
+    r.reclaim_sweeps += sw->reclaim_sweep_count();
+    r.reclaimed_ports += sw->reclaimed_port_count();
+    r.table_chunks += sw->table_chunks();
+  }
+  for (const Nic* nic : net.nics()) {
+    r.receiver_slots_hw += nic->receiver_slots_hw();
+    r.nic_class_transitions += nic->flow_index().transitions();
+  }
+  // Engine telemetry rollups + trace/flight export, present only when the
+  // registry is live (BFC_METRICS / BFC_TRACE / BFC_FLIGHT).
+  if (obs::Telemetry* tel = sim.telemetry()) {
+    if (tel->config().metrics) {
+      const obs::ShardObs m = tel->merged();
+      r.clock_waits = m.counters[obs::kClockWaits];
+      r.clock_wait_ns = m.counters[obs::kClockWaitNs];
+      r.clock_advances = m.counters[obs::kClockAdvances];
+      r.ring_flush_events = m.counters[obs::kRingFlushEvents];
+      r.steal_batches = m.counters[obs::kStealBatchesOffered];
+      r.steal_batches_stolen = m.counters[obs::kStealBatchesStolen];
+      r.wheel_near_hw = static_cast<std::uint64_t>(
+          m.gauges[obs::kWheelNear].hw);
+      r.wheel_far_hw = static_cast<std::uint64_t>(
+          m.gauges[obs::kWheelFar].hw);
+      r.inbox_occ_hw = static_cast<std::uint64_t>(
+          m.gauges[obs::kInboxOccupancy].hw);
+      r.arena_blocks_hw =
+          static_cast<std::uint64_t>(m.gauges[obs::kEventBlocks].hw) +
+          static_cast<std::uint64_t>(m.gauges[obs::kArenaBlocks].hw);
+    }
+    if (tel->config().trace) {
+      const char* out = std::getenv("BFC_TRACE_OUT");
+      if (out == nullptr || *out == '\0') out = "bfc_trace.json";
+      if (!obs::write_chrome_trace(out, *tel)) {
+        std::fprintf(stderr, "run_experiment: cannot write trace '%s'\n",
+                     out);
+      }
+    }
+    if (tel->flight_enabled()) {
+      for (int s = 0; s < sim.n_shards(); ++s) {
+        r.flight.push_back(tel->flight(s).snapshot());
+      }
+    }
+  }
   return r;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/network.hpp"
+#include "obs/flight_recorder.hpp"
 #include "stats/percentile.hpp"
 #include "stats/samplers.hpp"
 #include "workload/traffic_gen.hpp"
@@ -83,6 +84,31 @@ struct ExperimentResult {
   std::string sync;
   std::uint64_t events_stolen = 0;
   std::uint64_t inbox_overflows = 0;
+  // Engine telemetry rollups (BFC_METRICS / BFC_TRACE; all zero when the
+  // registry is off). Like events_stolen these describe *scheduling*, not
+  // simulation — determinism checks must not compare them.
+  std::uint64_t clock_waits = 0;        // channel-clock blocks entered
+  std::uint64_t clock_wait_ns = 0;      // sim-time ns spent blocked
+  std::uint64_t clock_advances = 0;     // published clock bumps
+  std::uint64_t ring_flush_events = 0;  // events drained via overflow rings
+  std::uint64_t steal_batches = 0;      // batches offered to the board
+  std::uint64_t steal_batches_stolen = 0;
+  std::uint64_t wheel_near_hw = 0;      // epoch-sampled high-water marks
+  std::uint64_t wheel_far_hw = 0;
+  std::uint64_t inbox_occ_hw = 0;
+  std::uint64_t arena_blocks_hw = 0;    // event pool + packet arenas
+  // Device rollups — pure functions of the simulation, deterministic at
+  // any shard count, always on (no knob).
+  std::uint64_t egress_ports_hw = 0;    // summed over switches
+  std::uint64_t ingress_ports_hw = 0;
+  std::uint64_t reclaim_sweeps = 0;
+  std::uint64_t reclaimed_ports = 0;
+  std::uint64_t table_chunks = 0;       // FlowTable chunks materialized
+  std::uint64_t receiver_slots_hw = 0;  // summed over NICs
+  std::uint64_t nic_class_transitions = 0;
+  // Flight recorder (BFC_FLIGHT>0): per-shard rings of the last N
+  // (at, key) pairs executed, for replaying determinism-fuzz failures.
+  std::vector<std::vector<obs::FlightRec>> flight;
 };
 
 ExperimentResult run_experiment(const TopoGraph& topo,

@@ -1,0 +1,61 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace bfc::obs {
+
+std::vector<FlightRec> FlightRing::snapshot() const {
+  std::vector<FlightRec> out;
+  if (buf_.empty() || n_ == 0) return out;
+  const std::uint64_t cap = buf_.size();
+  const std::uint64_t kept = n_ < cap ? n_ : cap;
+  out.reserve(static_cast<std::size_t>(kept));
+  // Oldest retained record is at n_ - kept (mod cap).
+  for (std::uint64_t i = n_ - kept; i < n_; ++i) {
+    out.push_back(buf_[static_cast<std::size_t>(i % cap)]);
+  }
+  return out;
+}
+
+bool dump_flight(const char* path,
+                 const std::vector<std::vector<FlightRec>>& shards) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "bfc-flight v1 shards=%zu\n", shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    std::fprintf(f, "shard %zu n=%zu\n", s, shards[s].size());
+    for (const FlightRec& r : shards[s]) {
+      std::fprintf(f, "%" PRId64 " %" PRIu64 "\n", r.at, r.key);
+    }
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool load_flight(const char* path, std::vector<std::vector<FlightRec>>* out) {
+  out->clear();
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  std::size_t n_shards = 0;
+  bool ok = std::fscanf(f, "bfc-flight v1 shards=%zu\n", &n_shards) == 1;
+  for (std::size_t s = 0; ok && s < n_shards; ++s) {
+    std::size_t idx = 0;
+    std::size_t n = 0;
+    ok = std::fscanf(f, "shard %zu n=%zu\n", &idx, &n) == 2 && idx == s;
+    std::vector<FlightRec> recs;
+    recs.reserve(n);
+    for (std::size_t i = 0; ok && i < n; ++i) {
+      FlightRec r;
+      ok = std::fscanf(f, "%" SCNd64 " %" SCNu64 "\n", &r.at, &r.key) == 2;
+      recs.push_back(r);
+    }
+    if (ok) out->push_back(std::move(recs));
+  }
+  std::fclose(f);
+  if (!ok) out->clear();
+  return ok;
+}
+
+}  // namespace bfc::obs

@@ -1,0 +1,65 @@
+// Flight recorder: a bounded ring of the last N events each shard
+// executed, identified by (timestamp, deterministic ordering key).
+//
+// Purpose: when the determinism fuzz rig finds two runs whose stats
+// disagree, the aggregate stats say *that* they diverged but not where.
+// The flight recorder turns the failure into a replayable artifact — the
+// rig dumps both runs' rings (obs::dump_flight) and the divergence point
+// is the first index where the (at, key) streams differ, since the key
+// ((posting entity << 32) | per-entity seq) names the exact event.
+//
+// The ring records only what the engine already computed (no allocation
+// after init, no sim-state reads beyond e->at / e->key), so recording is
+// scheduling-neutral: with work stealing off, the recorded stream is
+// itself bit-deterministic for a fixed shard count
+// (tests/test_flight_replay.cpp asserts the round trip).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bfc::obs {
+
+struct FlightRec {
+  Time at = 0;
+  std::uint64_t key = 0;
+
+  bool operator==(const FlightRec& o) const {
+    return at == o.at && key == o.key;
+  }
+};
+
+class FlightRing {
+ public:
+  void init(std::size_t cap) {
+    buf_.assign(cap, FlightRec{});
+    n_ = 0;
+  }
+  bool enabled() const { return !buf_.empty(); }
+  std::size_t capacity() const { return buf_.size(); }
+  // Total events ever pushed (>= snapshot().size()).
+  std::uint64_t recorded() const { return n_; }
+
+  void push(Time at, std::uint64_t key) {
+    buf_[static_cast<std::size_t>(n_++ % buf_.size())] = FlightRec{at, key};
+  }
+
+  // Retained records, oldest first.
+  std::vector<FlightRec> snapshot() const;
+
+ private:
+  std::vector<FlightRec> buf_;
+  std::uint64_t n_ = 0;
+};
+
+// Plain-text dump/load of per-shard flight snapshots ("bfc-flight v1"
+// header, one "<at> <key>" line per record). Text, not the bench JSON:
+// the artifact is meant to be diffed and grepped by whoever debugs the
+// red fuzz case. Both return false on I/O or format errors.
+bool dump_flight(const char* path,
+                 const std::vector<std::vector<FlightRec>>& shards);
+bool load_flight(const char* path, std::vector<std::vector<FlightRec>>* out);
+
+}  // namespace bfc::obs

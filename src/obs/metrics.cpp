@@ -1,0 +1,82 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bfc::obs {
+
+namespace {
+
+// Same contract as the engine's knob parsing (sharded_sim.cpp): a
+// malformed value aborts loudly instead of silently running a different
+// configuration than the operator asked for.
+long env_long(const char* name, long fallback, long lo, long hi) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr, "obs: %s='%s' is not an integer in [%ld, %ld]\n",
+                 name, env, lo, hi);
+    std::abort();
+  }
+  return v;
+}
+
+bool env_switch(const char* name, bool fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  if (std::strcmp(env, "0") == 0) return false;
+  if (std::strcmp(env, "1") == 0) return true;
+  std::fprintf(stderr, "obs: %s='%s' must be 0 or 1\n", name, env);
+  std::abort();
+}
+
+}  // namespace
+
+Telemetry::Telemetry(const Config& cfg, int n_shards) : cfg_(cfg) {
+  shards_.reserve(static_cast<std::size_t>(n_shards));
+  flights_.resize(static_cast<std::size_t>(n_shards));
+  for (int s = 0; s < n_shards; ++s) {
+    shards_.push_back(std::make_unique<ShardObs>());
+    shards_.back()->trace = cfg_.trace;
+    if (cfg_.flight > 0) flights_[static_cast<std::size_t>(s)].init(cfg_.flight);
+  }
+}
+
+std::unique_ptr<Telemetry> Telemetry::from_env(int n_shards) {
+  Config cfg;
+  cfg.trace = env_switch("BFC_TRACE", false);
+  // A trace without the registry would have spans but empty counter
+  // tracks; trace implies metrics.
+  cfg.metrics = env_switch("BFC_METRICS", false) || cfg.trace;
+  cfg.flight = static_cast<std::size_t>(
+      env_long("BFC_FLIGHT", 0, 0, 1 << 24));
+  cfg.epoch = env_long("BFC_METRICS_EPOCH", microseconds(10), 1,
+                       seconds(10));
+  if (!cfg.metrics && cfg.flight == 0) return nullptr;
+  return std::make_unique<Telemetry>(cfg, n_shards);
+}
+
+ShardObs Telemetry::merged() const {
+  ShardObs m;
+  for (int s = 0; s < n_shards(); ++s) {
+    const ShardObs& o = shard(s);
+    for (int i = 0; i < kCounterCount; ++i) m.counters[i] += o.counters[i];
+    for (int i = 0; i < kGaugeCount; ++i) {
+      if (o.gauges[i].hw > m.gauges[i].hw) m.gauges[i].hw = o.gauges[i].hw;
+      if (o.gauges[i].cur > m.gauges[i].cur) {
+        m.gauges[i].cur = o.gauges[i].cur;
+      }
+    }
+    for (int h = 0; h < kHistoCount; ++h) {
+      for (int i = 0; i < kHistoBuckets; ++i) {
+        m.histos[h].bucket[i] += o.histos[h].bucket[i];
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace bfc::obs

@@ -10,11 +10,18 @@
 // above it:
 //   BFC_FUZZ_CASE=17 ./test_determinism_fuzz    # replay one case
 //   BFC_FUZZ_CASES=8 ./test_determinism_fuzz    # CI smoke: first 8 cases
+//
+// Every run carries the flight recorder (BFC_FLIGHT=256): when a case's
+// stats mismatch, the rig dumps both runs' per-shard rings of the last
+// executed (at, key) pairs to fuzz_case<N>_flight_{ref,got}.txt *before*
+// failing, so the red case ships a replayable divergence artifact (see
+// obs/flight_recorder.hpp and tests/test_flight_replay.cpp).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "harness/experiment.hpp"
+#include "obs/flight_recorder.hpp"
 
 #include "test_util.hpp"
 
@@ -100,6 +107,18 @@ ExperimentResult run_case(const TopoGraph& topo, const FuzzCase& c,
   return run_experiment(topo, cfg);
 }
 
+// Non-exiting precheck of the same stats check_identical asserts: the
+// flight dump must happen before the first failing CHECK (which exits).
+bool stats_equal(const ExperimentResult& a, const ExperimentResult& b) {
+  return a.flows_started == b.flows_started &&
+         a.flows_completed == b.flows_completed && a.drops == b.drops &&
+         a.bfc.pauses == b.bfc.pauses && a.bfc.resumes == b.bfc.resumes &&
+         a.bfc.overflow_packets == b.bfc.overflow_packets &&
+         a.collision_frac == b.collision_frac &&
+         a.buffer_samples_mb == b.buffer_samples_mb &&
+         a.p99_slowdown == b.p99_slowdown;
+}
+
 void check_identical(const ExperimentResult& a, const ExperimentResult& b) {
   CHECK(a.flows_started == b.flows_started);
   CHECK(a.flows_completed == b.flows_completed);
@@ -160,6 +179,19 @@ void run_one(int index) {
   unsetenv("BFC_STEAL_THRESHOLD");
 
   CHECK(got.shards == c.shards);
+  if (!stats_equal(ref, got)) {
+    char ref_path[64], got_path[64];
+    std::snprintf(ref_path, sizeof ref_path, "fuzz_case%d_flight_ref.txt",
+                  index);
+    std::snprintf(got_path, sizeof got_path, "fuzz_case%d_flight_got.txt",
+                  index);
+    obs::dump_flight(ref_path, ref.flight);
+    obs::dump_flight(got_path, got.flight);
+    std::fprintf(stderr,
+                 "case %d: stats mismatch; flight recorders dumped to %s / "
+                 "%s (replay with BFC_FUZZ_CASE=%d)\n",
+                 index, ref_path, got_path, index);
+  }
   check_identical(ref, got);
 }
 
@@ -180,6 +212,12 @@ long env_long(const char* name, long fallback) {
 
 int main() {
   unsetenv("BFC_SYNC");
+  // Arm the flight recorder for every case; it records scheduling-neutral
+  // (at, key) pairs, so the determinism comparison itself doubles as a
+  // continuous proof that recording never perturbs the simulation.
+  setenv("BFC_FLIGHT", "256", 1);
+  unsetenv("BFC_METRICS");
+  unsetenv("BFC_TRACE");
   const long replay = env_long("BFC_FUZZ_CASE", -1);
   if (replay >= 0) {
     run_one(static_cast<int>(replay));

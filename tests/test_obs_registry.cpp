@@ -1,0 +1,225 @@
+// Unit tests for the telemetry registry (obs/metrics.hpp) and the flight
+// recorder (obs/flight_recorder.hpp): the merge must be deterministic —
+// any grouping of the same samples folds to the same rollup — the span
+// buffer must be inert unless tracing is on, the ring must retain exactly
+// the last N records oldest-first, and the dump/load text format must
+// round-trip.
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/flight_recorder.hpp"
+#include "test_util.hpp"
+
+using namespace bfc;
+using namespace bfc::obs;
+
+namespace {
+
+void test_histo_buckets() {
+  CHECK(HistoCell::bucket_of(0) == 0);
+  CHECK(HistoCell::bucket_of(1) == 1);
+  CHECK(HistoCell::bucket_of(2) == 2);
+  CHECK(HistoCell::bucket_of(3) == 2);
+  CHECK(HistoCell::bucket_of(4) == 3);
+  CHECK(HistoCell::bucket_of(1024) == 11);
+  CHECK(HistoCell::bucket_of(~std::uint64_t{0}) == kHistoBuckets - 1);
+  HistoCell h;
+  h.add(0);
+  h.add(5);
+  h.add(5);
+  CHECK(h.total() == 3);
+  CHECK(h.bucket[0] == 1);
+  CHECK(h.bucket[HistoCell::bucket_of(5)] == 2);
+}
+
+void test_gauge_highwater() {
+  GaugeCell g;
+  g.set(7);
+  g.set(3);
+  CHECK(g.cur == 3);
+  CHECK(g.hw == 7);
+}
+
+// Folding the same sample stream through different groupings (all into
+// one sink vs split across three batch sinks merged in any order) must
+// produce the same rollup — the property the owner relies on when it
+// merges stolen-batch sinks in group order.
+void test_merge_grouping_invariance() {
+  const std::uint64_t samples[] = {4, 0, 9, 9, 1, 300, 17, 2, 2, 64};
+
+  ShardObs flat;
+  for (std::uint64_t v : samples) {
+    flat.count(kClockWaits);
+    flat.count(kClockWaitNs, v);
+    flat.gauge_set(kWheelNear, v);
+    flat.histo_add(kWheelDepth, v);
+  }
+
+  ShardObs parts[3];
+  int i = 0;
+  for (std::uint64_t v : samples) {
+    ShardObs& p = parts[i++ % 3];
+    p.count(kClockWaits);
+    p.count(kClockWaitNs, v);
+    p.gauge_set(kWheelNear, v);
+    p.histo_add(kWheelDepth, v);
+  }
+  ShardObs folded;
+  // Deliberately not index order: counter/gauge/histogram merge must be
+  // order-insensitive.
+  folded.merge_from(parts[2]);
+  folded.merge_from(parts[0]);
+  folded.merge_from(parts[1]);
+
+  CHECK(folded.counters[kClockWaits] == flat.counters[kClockWaits]);
+  CHECK(folded.counters[kClockWaitNs] == flat.counters[kClockWaitNs]);
+  CHECK(folded.gauges[kWheelNear].hw == flat.gauges[kWheelNear].hw);
+  CHECK(folded.histos[kWheelDepth].total() ==
+        flat.histos[kWheelDepth].total());
+  for (int b = 0; b < kHistoBuckets; ++b) {
+    CHECK(folded.histos[kWheelDepth].bucket[b] ==
+          flat.histos[kWheelDepth].bucket[b]);
+  }
+
+  // merge_from zeroes the source (batch slots are recycled).
+  CHECK(parts[0].counters[kClockWaits] == 0);
+  CHECK(parts[0].gauges[kWheelNear].hw == 0);
+  CHECK(parts[0].histos[kWheelDepth].total() == 0);
+}
+
+void test_spans_gated_by_trace_flag() {
+  ShardObs off;
+  off.span(SpanKind::kClockWait, 10, 20, 1, 10);
+  CHECK(off.spans.empty());
+
+  ShardObs on;
+  on.trace = true;
+  on.span(SpanKind::kClockWait, 10, 20, 1, 10);
+  on.span(SpanKind::kSteal, 20, 30, 2, 5);
+  CHECK(on.spans.size() == 2);
+  CHECK(on.spans[0].kind == SpanKind::kClockWait);
+  CHECK(on.spans[1].b == 5);
+
+  // merge_from splices and clears the source span buffer.
+  ShardObs owner;
+  owner.trace = true;
+  owner.merge_from(on);
+  CHECK(owner.spans.size() == 2);
+  CHECK(on.spans.empty());
+}
+
+void test_flight_ring_wrap() {
+  FlightRing ring;
+  CHECK(!ring.enabled());
+  ring.init(4);
+  CHECK(ring.enabled());
+  CHECK(ring.capacity() == 4);
+  for (int i = 1; i <= 6; ++i) {
+    ring.push(i * 10, static_cast<std::uint64_t>(i));
+  }
+  CHECK(ring.recorded() == 6);
+  const std::vector<FlightRec> snap = ring.snapshot();
+  CHECK(snap.size() == 4);
+  // Oldest retained first: records 3, 4, 5, 6.
+  for (int i = 0; i < 4; ++i) {
+    CHECK(snap[static_cast<std::size_t>(i)].at == (i + 3) * 10);
+    CHECK(snap[static_cast<std::size_t>(i)].key ==
+          static_cast<std::uint64_t>(i + 3));
+  }
+
+  // Unwrapped ring returns exactly what was pushed.
+  FlightRing part;
+  part.init(8);
+  part.push(5, 50);
+  part.push(6, 60);
+  const std::vector<FlightRec> psnap = part.snapshot();
+  CHECK(psnap.size() == 2);
+  CHECK(psnap[0] == (FlightRec{5, 50}));
+  CHECK(psnap[1] == (FlightRec{6, 60}));
+}
+
+void test_flight_dump_load_roundtrip() {
+  std::vector<std::vector<FlightRec>> shards(3);
+  shards[0] = {{10, 1}, {20, (std::uint64_t{7} << 32) | 3}};
+  // shard 1 deliberately empty
+  shards[2] = {{-5, ~std::uint64_t{0}}};
+  const char* path = "test_obs_registry_flight.txt";
+  CHECK(dump_flight(path, shards));
+  std::vector<std::vector<FlightRec>> back;
+  CHECK(load_flight(path, &back));
+  CHECK(back == shards);
+  std::remove(path);
+
+  std::vector<std::vector<FlightRec>> none;
+  CHECK(!load_flight("test_obs_registry_missing.txt", &none));
+}
+
+void test_from_env() {
+  unsetenv("BFC_METRICS");
+  unsetenv("BFC_TRACE");
+  unsetenv("BFC_FLIGHT");
+  unsetenv("BFC_METRICS_EPOCH");
+  CHECK(Telemetry::from_env(2) == nullptr);
+
+  setenv("BFC_METRICS", "1", 1);
+  std::unique_ptr<Telemetry> t = Telemetry::from_env(2);
+  CHECK(t != nullptr);
+  CHECK(t->config().metrics);
+  CHECK(!t->config().trace);
+  CHECK(!t->flight_enabled());
+  CHECK(t->n_shards() == 2);
+  unsetenv("BFC_METRICS");
+
+  // Trace implies metrics.
+  setenv("BFC_TRACE", "1", 1);
+  t = Telemetry::from_env(1);
+  CHECK(t != nullptr);
+  CHECK(t->config().metrics);
+  CHECK(t->config().trace);
+  CHECK(t->shard(0).trace);
+  unsetenv("BFC_TRACE");
+
+  // Flight alone turns telemetry on but not the registry.
+  setenv("BFC_FLIGHT", "64", 1);
+  t = Telemetry::from_env(4);
+  CHECK(t != nullptr);
+  CHECK(!t->config().metrics);
+  CHECK(t->flight_enabled());
+  CHECK(t->flight(3).capacity() == 64);
+  unsetenv("BFC_FLIGHT");
+}
+
+void test_telemetry_merged() {
+  Telemetry::Config cfg;
+  cfg.metrics = true;
+  cfg.epoch = microseconds(10);
+  Telemetry t(cfg, 3);
+  t.shard(0).count(kClockWaits, 2);
+  t.shard(1).count(kClockWaits, 3);
+  t.shard(2).gauge_set(kInboxOccupancy, 40);
+  t.shard(0).gauge_set(kInboxOccupancy, 9);
+  t.shard(1).histo_add(kInboxDepth, 12);
+  const ShardObs m = t.merged();
+  CHECK(m.counters[kClockWaits] == 5);
+  CHECK(m.gauges[kInboxOccupancy].hw == 40);
+  CHECK(m.histos[kInboxDepth].total() == 1);
+  // merged() must not disturb the per-shard sinks.
+  CHECK(t.shard(0).counters[kClockWaits] == 2);
+}
+
+}  // namespace
+
+int main() {
+  test_histo_buckets();
+  test_gauge_highwater();
+  test_merge_grouping_invariance();
+  test_spans_gated_by_trace_flag();
+  test_flight_ring_wrap();
+  test_flight_dump_load_roundtrip();
+  test_from_env();
+  test_telemetry_merged();
+  std::printf("test_obs_registry: OK\n");
+  return 0;
+}

@@ -129,6 +129,55 @@ def rolling_baseline(committed, history_dir, limit, cur_scale=None,
     return effective, len(usable)
 
 
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values):
+    """Unicode sparkline normalized to the series' own min..max (a flat
+    series renders mid-scale)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK_CHARS[3] * len(values)
+    span = len(SPARK_CHARS) - 1
+    return "".join(SPARK_CHARS[int((v - lo) / (hi - lo) * span + 0.5)]
+                   for v in values)
+
+
+def render_trajectory(entries, current, cur_scale, limit=8):
+    """Per-topo Mev/s trajectory over the committed history plus this
+    run, as a markdown table with a sparkline column. `entries` is
+    [(topos, scale)] oldest first (load_history_file's shape); history
+    recorded at a different BFC_BENCH_SCALE is skipped, same rule as the
+    rolling baseline. Returns "" when there is no usable history — a
+    one-point trajectory says nothing."""
+    usable = [topos for topos, scale in entries
+              if not (cur_scale is not None and scale is not None
+                      and scale != cur_scale)]
+    if not usable:
+        return ""
+    usable = usable[-(limit - 1):] + [current]
+    topo_names = []
+    for topos in usable:
+        for t in topos:
+            if t not in topo_names:
+                topo_names.append(t)
+    lines = ["## Throughput trajectory (Mev/s, oldest -> newest)", "",
+             f"Last {len(usable) - 1} recorded runs plus this one "
+             f"(rightmost point), at scale {cur_scale}.", "",
+             "| topo | Mev/s | spark |", "|---|---|---|"]
+    for topo in topo_names:
+        series = [topos[topo].get("shards1_events_per_sec", 0)
+                  for topos in usable
+                  if topos.get(topo, {}).get("shards1_events_per_sec", 0) > 0]
+        if not series:
+            continue
+        cells = " ".join(f"{v / 1e6:.2f}" for v in series)
+        lines.append(f"| {topo} | {cells} | {sparkline(series)} |")
+    return "\n".join(lines) + "\n"
+
+
 def gate(current, committed, tolerance, calibrate, hard_floor, pr2=None,
          optional=(), floors=None):
     """Returns (failures, rows). `current`/`committed` map topo ->
@@ -448,6 +497,32 @@ def self_test():
                          calibrate=False, hard_floor=0.25, floors=committed)
     assert any("hard floor" in m for m in f_floor), \
         "committed-anchored floor must catch median ratchet (4.0M -> 0.95M)"
+
+    # Sparkline + trajectory table rendering.
+    assert sparkline([]) == ""
+    assert sparkline([5, 5, 5]) == SPARK_CHARS[3] * 3, \
+        "flat series renders mid-scale"
+    sp = sparkline([1, 4, 8])
+    assert sp[0] == SPARK_CHARS[0] and sp[-1] == SPARK_CHARS[-1], \
+        "sparkline normalizes to the series' own range"
+    hist_entries = [
+        ({"t1_128": {"shards1_events_per_sec": 4_000_000}}, 0.05),
+        ({"t1_128": {"shards1_events_per_sec": 4_400_000},
+          "t3_1024": {"shards1_events_per_sec": 2_000_000}}, 0.05),
+        ({"t1_128": {"shards1_events_per_sec": 99_000_000}}, 1.0),
+    ]
+    cur = {"t1_128": {"shards1_events_per_sec": 4_200_000},
+           "t3_1024": {"shards1_events_per_sec": 2_100_000}}
+    traj = render_trajectory(hist_entries, cur, 0.05)
+    assert "4.00 4.40 4.20" in traj, "series = history tail + current"
+    assert "2.00 2.10" in traj, "a topo absent from old runs still plots"
+    assert "99.00" not in traj, "off-scale history must not be plotted"
+    assert render_trajectory([], cur, 0.05) == "", "no history -> no table"
+    many = [({"t1_128": {"shards1_events_per_sec": 1_000_000 * (i + 1)}},
+             None) for i in range(12)]
+    t2 = render_trajectory(many, cur, 0.05, limit=8)
+    assert " 5.00" not in t2 and "12.00" in t2, \
+        "trajectory keeps only the window tail"
     print("perf_gate self-test ok")
 
 
@@ -502,6 +577,10 @@ def main():
                                   optional, floors=committed)
     report = render(rows, factor, args.tolerance, args.calibrate,
                     cur_scale, base_scale, n_history)
+    traj = render_trajectory(load_history_file(args.history_file),
+                             current, cur_scale)
+    if traj:
+        report += "\n" + traj
     print(report)
     if args.summary:
         with open(args.summary, "a") as f:

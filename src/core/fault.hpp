@@ -1,0 +1,89 @@
+// Deterministic fault plane: a sim-time schedule of link state changes.
+//
+// A FaultPlan is an *immutable input* to a run, exactly like the topology
+// and the traffic trace: link flaps (down/up with a hold time) and
+// whole-node failures (expanded to flaps of every attached link) are
+// recorded before the engine starts, and every query — is this link up at
+// time t? how many transitions have fired by t? — is a pure function of
+// the plan and a timestamp. That is what keeps faulted runs bit-identical
+// at any shard count: shards never exchange liveness state, they read the
+// same frozen schedule. The only mutable fault state is per-device
+// (`port_down` flags on the owning switch/NIC), flipped by ordinary
+// engine events pre-seeded on that device's own shard (see
+// Network::install_faults), so same-timestamp ordering falls out of the
+// engine's (timestamp, entity, seq) key like every other event.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bfc {
+
+class TopoGraph;
+
+class FaultPlan {
+ public:
+  // One scheduled link state change. node_a < node_b (canonical order).
+  struct Transition {
+    Time at = 0;
+    int node_a = 0;
+    int node_b = 0;
+    bool up = false;
+  };
+
+  // A flap: the a<->b link goes down at `down_at` and (if `up_at` >= 0)
+  // comes back at `up_at`. up_at < 0 leaves it down forever. Flaps on the
+  // same link must not overlap and must be added in time order.
+  void add_link_flap(int a, int b, Time down_at, Time up_at);
+
+  // Whole-switch failure: every link of `node` flaps down/up together.
+  // The node itself is also recorded so node_up() reflects it.
+  void add_node_failure(const TopoGraph& topo, int node, Time down_at,
+                        Time up_at);
+
+  // `n_flaps` random fabric links (switch<->switch only, never a host
+  // access link), each down at a seeded time in [lo, hi] and back up
+  // after `hold`. Pure function of (topo, arguments): the same seed gives
+  // the same storm on every machine and shard count.
+  static FaultPlan random_flaps(const TopoGraph& topo, int n_flaps, Time lo,
+                                Time hi, Time hold, std::uint64_t seed);
+
+  // Env-driven construction (BFC_FAULT_FLAPS / _SEED / _LO_US / _HI_US /
+  // _HOLD_US — see docs/EXPERIMENTS.md). Returns an empty plan when
+  // BFC_FAULT_FLAPS is unset; aborts on malformed values.
+  static FaultPlan from_env(const TopoGraph& topo, Time stop);
+
+  bool empty() const { return transitions_.empty(); }
+
+  // Liveness oracle: is the a<->b link up at time t? A transition at
+  // exactly t has already applied. Links with no scheduled faults are
+  // always up.
+  bool link_up(int a, int b, Time t) const;
+
+  // False while `node` is inside an add_node_failure window.
+  bool node_up(int node, Time t) const;
+
+  // Route epoch: the number of transitions with at <= t. A flow stamps
+  // the epoch when it resolves its path; a cheaper-than-revalidation
+  // mismatch check on the next send detects that *some* fault fired and
+  // triggers lazy re-resolution (core/network.cpp).
+  int epoch_at(Time t) const;
+
+  // All transitions, sorted by (at, node_a, node_b, up): the schedule
+  // Network::install_faults turns into pre-seeded engine events.
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+ private:
+  static std::uint64_t link_key(int a, int b);
+
+  std::vector<Transition> transitions_;  // sorted
+  // Per-link state history, each sorted by time: (t, up-after-t).
+  std::map<std::uint64_t, std::vector<std::pair<Time, bool>>> links_;
+  std::map<int, std::vector<std::pair<Time, bool>>> nodes_;
+};
+
+}  // namespace bfc

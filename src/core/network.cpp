@@ -125,11 +125,91 @@ void Network::resolve_flow(Flow* f) {
 }
 
 void Network::resolve_reverse_route(Flow* f) {
-  if (!f->rpath.empty()) return;
   const FlowKey rkey{f->key.dst, f->key.src, f->key.dst_port,
                      f->key.src_port};
+  if (faults_ != nullptr) {
+    // Same lazy epoch contract as the forward path, on the destination
+    // NIC's shard (the only writer of rpath/rvfid).
+    const Time now =
+        sim_.shard_of_node(static_cast<int>(f->key.dst)).now();
+    const auto epoch = static_cast<std::int32_t>(faults_->epoch_at(now));
+    if (f->rroute_epoch == epoch && !f->rpath.empty()) return;
+    if (!topo_.route_into(rkey, f->rpath, *faults_, now)) {
+      // No live reverse path: keep the structural route — those acks
+      // blackhole at the dead hop and the sender's RTO recovers, the
+      // same way real gear loses acks on a cut link.
+      topo_.route_into(rkey, f->rpath);
+    }
+    f->rvfid = vfid_of(rkey, static_cast<std::uint32_t>(params_.n_vfids));
+    f->rroute_epoch = epoch;
+    return;
+  }
+  if (!f->rpath.empty()) return;
   topo_.route_into(rkey, f->rpath);
   f->rvfid = vfid_of(rkey, static_cast<std::uint32_t>(params_.n_vfids));
+}
+
+void Network::install_faults(const FaultPlan& plan) {
+  if (plan.empty()) return;
+  faults_ = &plan;
+  // One event per transition endpoint, posted on that endpoint's own
+  // shard: the port-down flag a device keeps is shard-local state, so
+  // the flip rides the engine's ordinary (timestamp, entity, seq)
+  // ordering and fires bit-identically at any shard count.
+  for (const FaultPlan::Transition& tr : plan.transitions()) {
+    const int ends[2] = {tr.node_a, tr.node_b};
+    for (int i = 0; i < 2; ++i) {
+      const int node = ends[i];
+      const int peer = ends[1 - i];
+      int port = -1;
+      const auto& pl = topo_.ports(node);
+      for (std::size_t p = 0; p < pl.size(); ++p) {
+        if (pl[p].peer == peer) {
+          port = static_cast<int>(p);
+          break;
+        }
+      }
+      if (port < 0) continue;  // plan names a non-link; nothing to flip
+      Shard& s = sim_.shard_of_node(node);
+      Event* e = s.make(node, tr.at);
+      e->fn = &Network::ev_link_state;
+      e->obj = devices_[static_cast<std::size_t>(node)];
+      e->u.misc = {nullptr, port, tr.up ? 1 : 0};
+      s.post_local(e);
+    }
+  }
+}
+
+Network::RouteCheck Network::check_route(Flow* f, Time now) {
+  // Parked flows re-validate on every retry (their stale path is known
+  // dead); everyone else only when the plan's epoch moved under them.
+  const auto epoch = static_cast<std::int32_t>(faults_->epoch_at(now));
+  if (epoch == f->route_epoch && f->parked_since < 0) {
+    return RouteCheck::kUnchanged;
+  }
+  HopVec fresh;
+  if (!topo_.route_into(f->key, fresh, *faults_, now)) {
+    // Unreachable: park via the pacing gate with capped exponential
+    // backoff on top of the RTO floor. The FlowIndex pacing class owns
+    // the retry wake-up; no new scheduler machinery.
+    constexpr std::uint8_t kMaxBackoffExp = 4;  // cap at 16x RTO
+    const Time base = f->rto > 0 ? f->rto : milliseconds(1);
+    f->next_send = now + (base << f->backoff_exp);
+    if (f->backoff_exp < kMaxBackoffExp) ++f->backoff_exp;
+    if (f->parked_since < 0) f->parked_since = now;
+    return RouteCheck::kUnreachable;
+  }
+  f->route_epoch = epoch;
+  f->backoff_exp = 0;
+  f->parked_since = -1;
+  if (fresh == f->path) return RouteCheck::kUnchanged;
+  f->path = fresh;
+  // Pure path-derived latencies follow the detour; CC and RTO state
+  // deliberately survive a reroute (resetting the window mid-flow would
+  // punish the flow twice for one fault).
+  f->ack_lat = path_one_way(f->path, topo_, kAckWireBytes);
+  f->base_rtt = path_one_way(f->path, topo_, kMtuWireBytes) + f->ack_lat;
+  return RouteCheck::kRerouted;
 }
 
 void Network::start_flow(const FlowKey& key, std::uint64_t bytes,
@@ -197,6 +277,10 @@ void Network::ev_pfc(Event& e) {
   static_cast<Device*>(e.obj)->on_pfc(e.u.misc.i1, e.u.misc.i2 != 0);
 }
 
+void Network::ev_link_state(Event& e) {
+  static_cast<Device*>(e.obj)->on_link_state(e.u.misc.i1, e.u.misc.i2 != 0);
+}
+
 BfcTotals Network::bfc_totals() const {
   BfcTotals t;
   for (const Switch* sw : switch_list_) {
@@ -213,6 +297,7 @@ SwitchTotals Network::switch_totals() const {
     t.pfc_pauses_sent += sw->totals().pfc_pauses_sent;
     t.pfc_resumes_sent += sw->totals().pfc_resumes_sent;
     t.drops += sw->totals().drops;
+    t.blackholed += sw->totals().blackholed;
   }
   return t;
 }
@@ -227,6 +312,9 @@ NicStats Network::nic_totals() const {
     t.delivered_payload += s.delivered_payload;
     t.acks_data_path += s.acks_data_path;
     t.acks_deferred += s.acks_deferred;
+    t.reroutes += s.reroutes;
+    t.unreachable_parks += s.unreachable_parks;
+    t.blackholed += s.blackholed;
   }
   return t;
 }

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "core/flow.hpp"
 #include "core/nic.hpp"
 #include "core/packet.hpp"
@@ -56,6 +57,25 @@ class Network {
   // destination NIC calls it at the first ack under `acks_in_data`.
   void resolve_flow(Flow* f);
   void resolve_reverse_route(Flow* f);
+
+  // Fault plane. install_faults stores the immutable schedule and
+  // pre-seeds one ev_link_state event per transition endpoint, each on
+  // that endpoint's own shard — faults then fire as ordinary engine
+  // events, bit-identically at any shard count. Must be called before
+  // run_until(), right after construction (the pre-seed consumes
+  // per-entity event sequence numbers, so its position in the setup
+  // order is part of the determinism contract). `plan` must outlive the
+  // Network.
+  void install_faults(const FaultPlan& plan);
+  const FaultPlan* faults() const { return faults_; }
+
+  // Send-path route validation (source NIC's shard). Cheap epoch check
+  // against the plan; on mismatch, re-resolves under the liveness mask.
+  // kUnreachable means the flow was parked: next_send pushed out by a
+  // capped exponential backoff on top of the RTO floor — the caller must
+  // skip the send and let the pacing machinery retry.
+  enum class RouteCheck { kUnchanged = 0, kRerouted, kUnreachable };
+  RouteCheck check_route(Flow* f, Time now);
 
   const std::vector<Switch*>& switches() const { return switch_list_; }
   const std::vector<Nic*>& nics() const { return nic_list_; }
@@ -114,6 +134,7 @@ class Network {
   static void ev_deliver(Event& e);   // obj=Device, u.pkt={node, in_port}
   static void ev_snapshot(Event& e);  // obj=Device, u.cold={bits slot, port}
   static void ev_pfc(Event& e);       // obj=Device, u.misc={-, port, paused}
+  static void ev_link_state(Event& e);  // obj=Device, u.misc={-, port, up}
 
  private:
   Flow* make_flow(const FlowKey& key, std::uint64_t bytes, std::uint64_t uid,
@@ -131,6 +152,7 @@ class Network {
   std::vector<Switch*> switch_list_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Flow>> flows_;
   FlowStats stats_;
+  const FaultPlan* faults_ = nullptr;  // immutable schedule, not owned
   std::vector<Rng> fault_rng_;  // per node
   std::vector<Rng> mark_rng_;   // per node
 };

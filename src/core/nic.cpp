@@ -39,31 +39,65 @@ void Nic::ev_flow_start(Event& e) {
 }
 
 void Nic::kick() {
-  if (busy_ || pfc_paused_) return;
+  if (busy_ || pfc_paused_ || link_down_) return;
   // Uplink arbitration (acks_in_data): pending acks share the egress with
   // data and go first — they are 64 B frames acking MTU-scale packets, so
   // strict ack priority costs data almost nothing while keeping the ack
   // clock honest under load.
   if (!ack_q_.empty() && send_queued_ack()) return;
-  Flow* f = index_.pop_eligible();
-  if (f == nullptr) {
-    // Nothing ready: wake when the earliest pacing gate opens.
-    arm_wake(shard_->now());
+  const bool faulted = net_.faults() != nullptr;
+  for (;;) {
+    Flow* f = index_.pop_eligible();
+    if (f == nullptr) {
+      // Nothing ready: wake when the earliest pacing gate opens.
+      arm_wake(shard_->now());
+      return;
+    }
+    if (faulted) {
+      // Send-path route validation: cheap epoch compare, re-resolve under
+      // the liveness mask only when the plan has ticked (or the flow is
+      // parked and retrying). The loop terminates because an unreachable
+      // flow re-files as pacing-blocked behind its backoff gate.
+      const Time now = shard_->now();
+      const Time parked_at = f->parked_since;
+      const Network::RouteCheck rc = net_.check_route(f, now);
+      if (rc == Network::RouteCheck::kUnreachable) {
+        ++stats_.unreachable_parks;
+        if (obs::ShardObs* o = shard_->obs()) {
+          o->count(obs::kFaultParks);
+        }
+        index_.update(f, now);
+        continue;  // try the next eligible flow
+      }
+      if (rc == Network::RouteCheck::kRerouted) {
+        ++stats_.reroutes;
+        if (obs::ShardObs* o = shard_->obs()) {
+          o->count(obs::kFaultReroutes);
+        }
+      }
+      if (parked_at >= 0) {
+        // The flow just recovered from an unreachable interval.
+        if (obs::ShardObs* o = shard_->obs()) {
+          o->histo_add(obs::kFaultRecovery,
+                       static_cast<std::uint64_t>(now - parked_at));
+        }
+      }
+    }
+    std::uint32_t seq;
+    bool retx = false;
+    if (!f->retx_q.empty()) {
+      seq = f->retx_q.front();
+      f->retx_q.pop_front();
+      retx = true;
+    } else {
+      seq = f->next_seq++;
+    }
+    send_packet(f, seq, retx);
+    // Re-file at the ready queue's tail (round-robin) or into the class
+    // the send pushed it to (window full, pacing gate).
+    index_.update(f, shard_->now());
     return;
   }
-  std::uint32_t seq;
-  bool retx = false;
-  if (!f->retx_q.empty()) {
-    seq = f->retx_q.front();
-    f->retx_q.pop_front();
-    retx = true;
-  } else {
-    seq = f->next_seq++;
-  }
-  send_packet(f, seq, retx);
-  // Re-file at the ready queue's tail (round-robin) or into the class the
-  // send pushed it to (window full, pacing gate).
-  index_.update(f, shard_->now());
 }
 
 void Nic::arm_wake(Time now) {
@@ -102,6 +136,8 @@ void Nic::send_packet(Flow* f, std::uint32_t seq, bool retx) {
   pkt.single = f->total_pkts == 1;
   pkt.prio = f->remaining_bytes();
   pkt.ts = now;
+  pkt.stamp_route(f->path);
+  pkt.ack_lat = f->ack_lat;
   if (retx || seq < f->max_sent) ++stats_.data_retx;
   f->max_sent = std::max(f->max_sent, seq + 1);
   ++stats_.pkts_sent;
@@ -132,6 +168,11 @@ void Nic::transmit(const Packet& pkt) {
 }
 
 void Nic::arrive(Packet& pkt, int /*in_port*/) {
+  if (link_down_) {
+    // Was on the wire when the access link cut.
+    ++stats_.blackholed;
+    return;
+  }
   if (pkt.is_ack) {
     AckInfo ack;
     ack.uid = pkt.flow->uid;
@@ -160,7 +201,7 @@ void Nic::receive_data(const Packet& pkt) {
     // Late duplicate after full delivery: the slab slot is gone; just
     // re-advertise completion.
     ack.cum = f->total_pkts;
-    send_ack(f, ack);
+    send_ack(f, ack, pkt.ack_lat);
     return;
   }
   ReceiverState& rs = rcv_slab_.get(f);
@@ -186,15 +227,18 @@ void Nic::receive_data(const Packet& pkt) {
     net_.on_flow_complete(f, shard_->now());
     rcv_slab_.release(f);  // marks rcv_slot = kRcvDone
   }
-  send_ack(f, ack);
+  send_ack(f, ack, pkt.ack_lat);
 }
 
-void Nic::send_ack(Flow* f, const AckInfo& ack) {
+void Nic::send_ack(Flow* f, const AckInfo& ack, Time ack_lat) {
   const Time now = shard_->now();
   if (!net_.params().acks_in_data) {
-    // Acks ride a contention-free control channel: delivered directly
-    // after the unloaded reverse-path latency.
-    Event* e = shard_->make(node_, now + f->ack_lat);
+    // Acks ride a contention-free control channel, delivered after the
+    // unloaded reverse-path latency — the latency of the path the data
+    // packet was launched on (carried in the packet: `f->ack_lat` is
+    // sender-shard state the fault plane rewrites on a reroute, so the
+    // receiver must not read it).
+    Event* e = shard_->make(node_, now + ack_lat);
     e->fn = &Nic::ev_ack;
     e->obj = net_.device(static_cast<int>(f->key.src));
     e->put_ack(shard_->pack(ack));
@@ -219,6 +263,7 @@ void Nic::send_ack(Flow* f, const AckInfo& ack) {
   apk.ts = ack.ts;
   apk.wire = kAckWireBytes;
   apk.hop = 1;  // next transmitter: this host's ToR, on the reverse path
+  apk.stamp_route(f->rpath);
   ack_q_.push_back(apk);
   kick();
   // Deferred = this ack did not go out with that kick. kick() only ever
@@ -378,6 +423,20 @@ void Nic::on_bfc_snapshot(int /*egress_port*/,
 void Nic::on_pfc(int /*egress_port*/, bool paused) {
   pfc_paused_ = paused;
   if (!paused) kick();
+}
+
+void Nic::on_link_state(int /*port*/, bool up) {
+  link_down_ = !up;
+  // Down needs no teardown here: queued state is just flow bookkeeping
+  // (RTOs hold and retry), and the in-flight packets die at the far
+  // end's dead ingress. Up restarts the transmitter — after clearing any
+  // PFC pause taken before the flap: the ToR forgot it ever paused us
+  // (drain_dead_port resets its pfc_sent record for the dead ingress),
+  // so no resume is coming and a stale pause would wedge the NIC.
+  if (up) {
+    pfc_paused_ = false;
+    kick();
+  }
 }
 
 }  // namespace bfc

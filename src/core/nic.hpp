@@ -42,6 +42,13 @@ struct NicStats {
                                        // pacer (acks_in_data only)
   std::int64_t acks_deferred = 0;      // acks that had to wait for the
                                        // uplink (busy / paused / queued)
+  // Fault plane (all deterministic: pure functions of the FaultPlan and
+  // the simulation, compared by the determinism fuzz rig).
+  std::int64_t reroutes = 0;           // send-path re-resolves that moved
+                                       // the flow onto a different path
+  std::int64_t unreachable_parks = 0;  // sends skipped: no surviving path
+  std::int64_t blackholed = 0;         // packets that died on the wire of
+                                       // this NIC's dead access link
 };
 
 class Nic : public Device {
@@ -59,6 +66,9 @@ class Nic : public Device {
   void on_bfc_snapshot(int egress_port,
                        std::shared_ptr<const BloomBits> bits) override;
   void on_pfc(int egress_port, bool paused) override;
+  // Fault plane: a dead access link darkens the transmitter (kick gates
+  // on it; RTO state simply holds) and blackholes in-flight arrivals.
+  void on_link_state(int port, bool up) override;
 
   // Pooled event handler: activates a prepared flow (obj=Nic,
   // u.misc.p1=Flow).
@@ -87,7 +97,9 @@ class Nic : public Device {
   void arm_rto(Flow* f);
   void fire_rto(Flow* f, int gen);
   void receive_data(const Packet& pkt);
-  void send_ack(Flow* f, const AckInfo& ack);
+  // ack_lat = the triggering data packet's stamped reverse latency (the
+  // Flow's own ack_lat is sender-shard state; see Packet::route).
+  void send_ack(Flow* f, const AckInfo& ack, Time ack_lat);
   bool send_queued_ack();     // pops + serializes the next sendable ack
 
   PortInfo link_;
@@ -98,6 +110,7 @@ class Nic : public Device {
   std::vector<Packet> ack_q_;
   bool busy_ = false;
   bool pfc_paused_ = false;
+  bool link_down_ = false;    // fault plane: access link currently dead
   std::shared_ptr<const BloomBits> pause_bits_;
   Time wake_at_ = -1;
   NicStats stats_;

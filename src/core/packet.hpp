@@ -77,11 +77,14 @@ struct Flow {
   // Route cache, resolved on demand — a prepared-but-never-activated
   // flow owns no route. `path` (plus the derived RTT/CC/RTO fields
   // below) is filled by Network::resolve_flow on the *source* NIC's
-  // shard at activation, before the first packet is posted; `rpath` and
-  // `rvfid` by Network::resolve_reverse_route on the *destination*
-  // NIC's shard at the first ack (acks_in_data only). Downstream
-  // switches only read these after a packet/ack was posted across the
-  // shard barrier, so the writes happen-before every read.
+  // shard at activation and re-resolved there by Network::check_route
+  // when a fault moves the plan's epoch; `rpath` and `rvfid` by
+  // Network::resolve_reverse_route on the *destination* NIC's shard
+  // (acks_in_data only), under the same epoch contract. Because the
+  // fault plane rewrites these mid-flow, they are strictly single-shard
+  // state: no other shard may read them. Downstream switches consume the
+  // per-packet `Packet::route`/`ack_lat` snapshot instead, stamped on
+  // the owning shard when the packet is posted.
   HopVec path;                   // one entry per transmitting device
   HopVec rpath;                  // reverse path (acks_in_data only)
   std::uint32_t rvfid = 0;       // VFID of the reverse direction
@@ -105,6 +108,14 @@ struct Flow {
   Time last_fast_retx = -1;
   bool sender_done = false;
   int rto_gen = 0;               // invalidates stale RTO events
+  // Fault plane (source NIC's shard only): the FaultPlan epoch `path`
+  // was resolved under (-1 = not yet resolved under a plan, so the first
+  // send always validates), plus the capped exponential backoff state
+  // for unreachable parks. parked_since feeds the recovery-latency
+  // histogram: first park -> successful re-resolve.
+  std::int32_t route_epoch = -1;
+  std::uint8_t backoff_exp = 0;
+  Time parked_since = -1;
   // FlowIndex bookkeeping (source NIC's shard only): the cached
   // sendability class and which index containers still hold an entry for
   // this flow (entries outlive transitions and are dropped lazily).
@@ -119,6 +130,10 @@ struct Flow {
   double tm_prev_rtt = 0;
   double tm_grad = 0;
   Time hpcc_last_dec = 0;
+
+  // Reverse-route fault epoch (destination NIC's shard only) — same
+  // contract as route_epoch, for `rpath` under acks_in_data.
+  std::int32_t rroute_epoch = -1;
 
   // Receiver state (destination NIC's shard only): a handle into the
   // destination NIC's ReceiverSlab, allocated on the first data arrival.
@@ -146,7 +161,7 @@ struct Packet {
   std::uint32_t vfid = 0;        // queueing identity at switches; the
                                  // forward VFID for data, reverse for acks
   int wire = 0;                  // bytes on the wire (payload + header)
-  int hop = 0;                   // index into flow->path (rpath for acks)
+  int hop = 0;                   // index into `route` (next transmitter)
   bool is_ack = false;           // ack riding the data path (acks_in_data)
   bool ce = false;               // ECN congestion experienced
   bool single = false;           // single-packet flow (HPQ candidate)
@@ -157,6 +172,23 @@ struct Packet {
   Time ts = 0;                   // send timestamp (Timely RTT)
   int buf_in = -1;               // ingress port at the current switch
   bool tracked = false;          // holds a flow-table reference (BFC/SFQ)
+  // Route snapshot, stamped by the posting NIC (sender for data, receiver
+  // for acks_in_data acks): the egress port each transmitter on the path
+  // uses, plus the path's control-channel ack latency. Switches and the
+  // receiver read these instead of the Flow's route cache — once the
+  // fault plane can re-resolve a route mid-flow, that cache is mutable
+  // single-shard state, and an in-flight packet must keep following the
+  // (possibly now-dead, then blackholing) route it was launched on. The
+  // snapshot also keeps `hop` consistent when a reroute shortens the
+  // path under a packet that already traveled past the detour point.
+  std::uint16_t route[HopVec::kMaxHops] = {};
+  Time ack_lat = 0;
+
+  void stamp_route(const HopVec& path) {
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      route[i] = static_cast<std::uint16_t>(path[i].port);
+    }
+  }
 };
 
 struct AckInfo {
@@ -189,6 +221,14 @@ class Device {
                                std::shared_ptr<const BloomBits> bits) = 0;
   // PFC: the peer behind `egress_port` paused/resumed the whole link.
   virtual void on_pfc(int egress_port, bool paused) = 0;
+  // Fault plane: the link behind `port` changed state (a pre-seeded
+  // FaultPlan transition, delivered on this device's own shard). The
+  // switch drains/blackholes and reaps pause state; the NIC gates its
+  // transmitter. Default: ignore faults.
+  virtual void on_link_state(int port, bool up) {
+    (void)port;
+    (void)up;
+  }
 
   Network& net() { return net_; }
   int id() const { return node_; }

@@ -230,11 +230,24 @@ std::int64_t Switch::paused_ns_toward(NodeTier peer_tier, Time now) const {
 }
 
 void Switch::arrive(Packet& pkt, int in_port) {
+  if (is_port_down(in_port)) {
+    // Was on the wire when the link cut: destroyed at the dead ingress.
+    ++totals_.blackholed;
+    return;
+  }
   const NetParams& p = net_.params();
-  const Hop& hop = (pkt.is_ack ? pkt.flow->rpath
-                               : pkt.flow->path)[static_cast<std::size_t>(
-      pkt.hop)];
-  const int eg_port = hop.port;
+  // The packet's own route snapshot, never the Flow's cache: the cache
+  // lives on the endpoint's shard and the fault plane rewrites it
+  // mid-flow, so a packet posted before a reroute must keep the ports it
+  // was launched with.
+  const int eg_port = pkt.route[static_cast<std::size_t>(pkt.hop)];
+  if (is_port_down(eg_port)) {
+    // Stale route into a dead egress: the sender re-validates its route
+    // on the next send (Network::check_route), but packets already in
+    // flight when the fault fired land here and blackhole.
+    ++totals_.blackholed;
+    return;
+  }
   // Drop check before slab materialization: a packet refused at the
   // shared buffer must not cost its egress port a queue-array slab (or a
   // reclaim event) it would never use.
@@ -510,6 +523,7 @@ void Switch::kick(int eg_port) {
   const NetParams& p = net_.params();
   Egress* egp = egress_[static_cast<std::size_t>(eg_port)].get();
   if (egp == nullptr) return;
+  if (is_port_down(eg_port)) return;  // transmitter dark until link-up
   Egress& eg = *egp;
   if (eg.busy || eg.peer_pfc_paused) return;
 
@@ -691,6 +705,9 @@ void Switch::do_resume(FlowEntry* e) {
 
 void Switch::send_snapshot(int in_port) {
   Ingress& in = ensure_ingress(in_port);
+  // A dead link can't carry the frame; keep the dirty bit so the
+  // periodic refresh retransmits once the link comes back up.
+  if (is_port_down(in_port)) return;
   // A corrupted frame keeps the dirty bit so the periodic refresh
   // retransmits it — even when the update was "bloom went empty".
   if (net_.roll_ctrl_loss(node_)) return;
@@ -739,6 +756,9 @@ void Switch::periodic_refresh() {
 void Switch::maybe_pfc(int in_port) {
   const NetParams& p = net_.params();
   if (!p.pfc) return;
+  // No PFC toward a dead peer: the frame can't cross, and the ingress's
+  // own pause state was voided when the link went down.
+  if (is_port_down(in_port)) return;
   Ingress& in = ensure_ingress(in_port);
   const std::int64_t hi =
       std::max<std::int64_t>(2 * in.horizon_bytes, pfc_quota_ / 2);
@@ -762,6 +782,7 @@ void Switch::maybe_pfc(int in_port) {
 
 void Switch::on_bfc_snapshot(int egress_port,
                              std::shared_ptr<const BloomBits> bits) {
+  if (is_port_down(egress_port)) return;  // frame died with the link
   Egress& eg = ensure_egress(egress_port);
   eg.pause_bits = std::move(bits);
   ++eg.pause_gen;  // invalidates the per-queue head-pause memo
@@ -770,6 +791,7 @@ void Switch::on_bfc_snapshot(int egress_port,
 }
 
 void Switch::on_pfc(int egress_port, bool paused) {
+  if (is_port_down(egress_port)) return;  // frame died with the link
   Egress& eg = ensure_egress(egress_port);
   if (eg.peer_pfc_paused == paused) return;
   const Time now = shard_->now();
@@ -781,6 +803,142 @@ void Switch::on_pfc(int egress_port, bool paused) {
   }
   eg.peer_pfc_paused = paused;
   if (!paused) kick(egress_port);
+}
+
+// --- fault plane ------------------------------------------------------------
+
+void Switch::on_link_state(int port, bool up) {
+  if (port_down_.empty()) {
+    port_down_.assign(ports_->size(), 0);
+    port_down_t0_.assign(ports_->size(), 0);
+  }
+  const auto pi = static_cast<std::size_t>(port);
+  if ((port_down_[pi] == 0) == up) return;  // duplicate transition
+  if (!up) {
+    port_down_[pi] = 1;
+    port_down_t0_[pi] = shard_->now();
+    drain_dead_port(port);
+  } else {
+    port_down_[pi] = 0;
+    if (obs::ShardObs* o = shard_->obs()) {
+      o->span(obs::SpanKind::kLinkDown, port_down_t0_[pi], shard_->now(),
+              node_, port);
+    }
+    // Revived transmitter. BFC pause state toward the peer heals on its
+    // own: dirty snapshots were kept through the outage and the periodic
+    // refresh retransmits them.
+    kick(port);
+  }
+}
+
+void Switch::blackhole_node(Egress& eg, PacketNode* n) {
+  const Packet& pkt = n->pkt;
+  eg.port_bytes -= pkt.wire;
+  buffer_used_ -= pkt.wire;
+  live_ingress(pkt.buf_in).resident_bytes -= pkt.wire;  // resident pins it
+  ++totals_.blackholed;
+  maybe_pfc(pkt.buf_in);
+  shard_->arena().release(n);
+}
+
+// Link-down teardown. Everything queued on the dead egress blackholes
+// (with full buffer/ingress/PFC accounting — freeing this buffer can
+// legitimately PFC-resume other live links), then every flow-table entry
+// homed here is reaped: a paused entry's VFID leaves its ingress Bloom
+// filter (else the upstream sender would stay paused forever on a queue
+// that no longer exists), the per-queue resume limiter is cleared, and
+// the peer's pause/PFC state toward us is voided — the peer runs the
+// same teardown from its own pre-seeded event.
+void Switch::drain_dead_port(int port) {
+  const NetParams& p = net_.params();
+  const Time now = shard_->now();
+  Egress* egp = egress_[static_cast<std::size_t>(port)].get();
+  if (egp != nullptr) {
+    Egress& eg = *egp;
+    eg.last_active = now;
+    while (!eg.hpq.empty()) blackhole_node(eg, eg.hpq.pop_node());
+    for (int q = 0; q < static_cast<int>(eg.dq.size()); ++q) {
+      while (!eg.dq[static_cast<std::size_t>(q)].empty()) {
+        blackhole_node(eg, pop_dq_node(eg, q));
+      }
+    }
+    for (const auto& kv : eg.srpt) {  // pFabric stores packets by value
+      const Packet& pkt = kv.second;
+      eg.port_bytes -= pkt.wire;
+      buffer_used_ -= pkt.wire;
+      live_ingress(pkt.buf_in).resident_bytes -= pkt.wire;
+      ++totals_.blackholed;
+      maybe_pfc(pkt.buf_in);
+    }
+    eg.srpt.clear();
+    eg.srpt_bytes = 0;
+    // Ideal-FQ: every queue just drained, so the flow->queue map restarts
+    // from scratch; refill the free list in descending order so the next
+    // assignment hands out ids from 0 again, deterministically.
+    eg.flow_q.clear();
+    eg.free_q.clear();
+    if (p.per_flow_fq) {
+      for (int q = static_cast<int>(eg.dq.size()); q-- > 0;) {
+        eg.free_q.push_back(q);
+      }
+    }
+    bool reaped_pause = false;
+    for (std::size_t q = 0; q < eg.q_entries.size(); ++q) {
+      QueueResume& qr = eg.resume[q];
+      for (FlowEntry* pe : qr.pending) pe->resume_pending = false;
+      qr.pending.clear();
+      qr.outstanding = 0;
+      FlowEntry* c = eg.q_entries[q];
+      while (c != nullptr) {
+        FlowEntry* next = c->q_next;
+        c->holds_resume_slot = false;
+        if (c->paused) {
+          // Forced unpause, not a resume: no frame is sent and the
+          // resume counter stays untouched — only the bloom/snapshot
+          // state is corrected (flushed to live peers below).
+          c->paused = false;
+          Ingress& cin = live_ingress(c->in_port);
+          if (--cin.paused_flows == 0) {
+            if (obs::ShardObs* o = shard_->obs()) {
+              o->span(obs::SpanKind::kPause, cin.pause_t0, now, node_,
+                      c->in_port);
+            }
+          }
+          cin.bloom->remove(c->vfid);
+          cin.snapshot_dirty = true;
+          cin.last_active = now;
+          reaped_pause = true;
+        }
+        release_queue(eg, c);
+        table_.erase(c);
+        c = next;
+      }
+      qr.paused = 0;
+    }
+    if (reaped_pause) {
+      arm_refresh();
+      for (std::size_t i = 0; i < ingress_.size(); ++i) {
+        Ingress* in = ingress_[i].get();
+        if (in != nullptr && in->snapshot_dirty) {
+          send_snapshot(static_cast<int>(i));  // no-op for down ports
+        }
+      }
+    }
+    eg.pause_bits = nullptr;
+    ++eg.pause_gen;
+    if (eg.peer_pfc_paused) {
+      eg.pfc_ns += now - eg.pfc_since;
+      eg.peer_pfc_paused = false;
+    }
+  }
+  Ingress* inp = ingress_[static_cast<std::size_t>(port)].get();
+  if (inp != nullptr) {
+    // Our PFC pause toward the dead peer could never be resumed through
+    // the dead link; quietly forget it (no frame, no counter bump — the
+    // peer voids its own side symmetrically).
+    inp->pfc_sent = false;
+    inp->last_active = now;
+  }
 }
 
 // --- port-slab reclaim ------------------------------------------------------

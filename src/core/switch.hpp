@@ -47,6 +47,10 @@ struct SwitchTotals {
   std::int64_t pfc_pauses_sent = 0;
   std::int64_t pfc_resumes_sent = 0;
   std::int64_t drops = 0;
+  // Fault plane: packets destroyed by a dead link — queued on the egress
+  // when it went down, or on the wire into a down port. Deterministic
+  // (pure function of the FaultPlan + simulation), unlike gated obs.
+  std::int64_t blackholed = 0;
 };
 
 struct BfcTotals {
@@ -94,6 +98,14 @@ class Switch : public Device {
   void on_bfc_snapshot(int egress_port,
                        std::shared_ptr<const BloomBits> bits) override;
   void on_pfc(int egress_port, bool paused) override;
+  // Fault plane. Down: blackhole everything queued on the egress (full
+  // buffer/PFC accounting), reap the flow-table entries and their BFC
+  // pause state so blooms and resume limiters can't wedge on a dead
+  // link, and void the peer's pause/PFC snapshots (the peer reaps its
+  // own side symmetrically — both endpoints get their own pre-seeded
+  // event). Up: restart the transmitter; BFC snapshots heal via the
+  // periodic refresh, which kept retransmitting dirty state.
+  void on_link_state(int port, bool up) override;
 
  private:
   // Section 3.5 resume limiter, per physical queue: at most 2 resumes
@@ -204,6 +216,15 @@ class Switch : public Device {
   void periodic_refresh();
   void maybe_pfc(int in_port);
 
+  // Fault plane (lazy: port_down_ stays empty until the first fault
+  // event, so fault-free runs pay nothing).
+  bool is_port_down(int port) const {
+    return !port_down_.empty() &&
+           port_down_[static_cast<std::size_t>(port)] != 0;
+  }
+  void drain_dead_port(int port);
+  void blackhole_node(Egress& eg, PacketNode* n);
+
   std::int64_t buffer_cap_;
   std::int64_t buffer_used_ = 0;
   const std::vector<PortInfo>* ports_;      // topology port list (shared)
@@ -226,6 +247,11 @@ class Switch : public Device {
   // tier (pfc_fractions stays exact).
   std::vector<int> saved_rr_;
   std::int64_t reclaimed_pfc_ns_[6] = {0, 0, 0, 0, 0, 0};
+  // Fault plane: per-port down flags + down-transition timestamps (for
+  // the kLinkDown outage span). Sized lazily on the first fault event;
+  // flags outlive any slab reclaim of the port they describe.
+  std::vector<std::uint8_t> port_down_;
+  std::vector<Time> port_down_t0_;
   // Slab churn telemetry (deterministic; see accessors above).
   std::size_t eg_live_hw_ = 0;
   std::size_t in_live_hw_ = 0;

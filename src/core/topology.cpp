@@ -4,6 +4,8 @@
 #include <limits>
 #include <numeric>
 
+#include "core/fault.hpp"
+
 namespace bfc {
 
 namespace {
@@ -412,6 +414,166 @@ void TopoGraph::route_into(const FlowKey& key, HopVec& out) const {
   }
   out.push_back({dst_tor, port_to(dst_tor, dst)});
   return;
+}
+
+namespace {
+
+// Fail-loudly push for the fault-plane resolver: a detour that outgrows
+// the hop cache names the flow and the fault context instead of the
+// generic HopVec message, so the red run says *which* reroute overflowed.
+void push_hop(HopVec& out, const Hop& h, const FlowKey& key, Time now) {
+  if (!out.try_push(h)) {
+    std::fprintf(stderr,
+                 "HopVec: rerouted path for flow %u->%u (ports %u->%u) "
+                 "exceeds %d hops at t=%lld ns under the active fault plan; "
+                 "grow HopVec::kMaxHops\n",
+                 key.src, key.dst, key.src_port, key.dst_port,
+                 HopVec::kMaxHops, static_cast<long long>(now));
+    std::abort();
+  }
+}
+
+}  // namespace
+
+bool TopoGraph::route_into(const FlowKey& key, HopVec& out,
+                           const FaultPlan& plan, Time now) const {
+  out.clear();
+  if (plan.empty()) {
+    route_into(key, out);
+    return true;
+  }
+  const int src = static_cast<int>(key.src);
+  const int dst = static_cast<int>(key.dst);
+  const int src_tor = tor_of_host_[src];
+  const int dst_tor = tor_of_host_[dst];
+  // Access links have no detour: either endpoint's only attachment being
+  // down means the flow is unreachable until the link returns.
+  if (!plan.link_up(src, src_tor, now) || !plan.link_up(dst, dst_tor, now)) {
+    return false;
+  }
+  push_hop(out, {src, 0}, key, now);
+  if (src_tor == dst_tor) {
+    push_hop(out, {src_tor, port_to(src_tor, dst)}, key, now);
+    return true;
+  }
+  if (three_tier_) {
+    if (pod_[src] == pod_[dst]) {
+      // Aggs of the pod with both the up-link and the turn-around link
+      // alive.
+      std::vector<int> ups;
+      for (const int up : tor_uplinks_[src_tor]) {
+        const int agg = ports_[src_tor][static_cast<std::size_t>(up)].peer;
+        if (plan.link_up(src_tor, agg, now) &&
+            plan.link_up(agg, dst_tor, now)) {
+          ups.push_back(up);
+        }
+      }
+      if (ups.empty()) return false;
+      const int up = ups[static_cast<std::size_t>(
+          ecmp(key, static_cast<int>(ups.size()), 3))];
+      const int agg = ports_[src_tor][static_cast<std::size_t>(up)].peer;
+      push_hop(out, {src_tor, up}, key, now);
+      push_hop(out, {agg, port_to(agg, dst_tor)}, key, now);
+      push_hop(out, {dst_tor, port_to(dst_tor, dst)}, key, now);
+      return true;
+    }
+    // Inter-pod: an agg is viable only if some core of its plane has the
+    // whole (up, core, down) chain alive — filtering the agg pick alone
+    // could still strand the flow on a plane whose cores are all dead.
+    std::vector<int> ups;
+    std::vector<std::vector<int>> cups_of;
+    for (const int up : tor_uplinks_[src_tor]) {
+      const int agg = ports_[src_tor][static_cast<std::size_t>(up)].peer;
+      if (!plan.link_up(src_tor, agg, now)) continue;
+      std::vector<int> cups;
+      for (const int cup : agg_uplinks_[agg]) {
+        const int core = ports_[agg][static_cast<std::size_t>(cup)].peer;
+        if (!plan.link_up(agg, core, now)) continue;
+        const int down = port_to_pod(core, pod_[dst]);
+        const int agg2 = ports_[core][static_cast<std::size_t>(down)].peer;
+        if (!plan.link_up(core, agg2, now)) continue;
+        if (!plan.link_up(agg2, dst_tor, now)) continue;
+        cups.push_back(cup);
+      }
+      if (!cups.empty()) {
+        ups.push_back(up);
+        cups_of.push_back(std::move(cups));
+      }
+    }
+    if (ups.empty()) return false;
+    const std::size_t pick = static_cast<std::size_t>(
+        ecmp(key, static_cast<int>(ups.size()), 3));
+    const int up = ups[pick];
+    const int agg = ports_[src_tor][static_cast<std::size_t>(up)].peer;
+    const std::vector<int>& cups = cups_of[pick];
+    const int cup = cups[static_cast<std::size_t>(
+        ecmp(key, static_cast<int>(cups.size()), 7))];
+    const int core = ports_[agg][static_cast<std::size_t>(cup)].peer;
+    const int down = port_to_pod(core, pod_[dst]);
+    const int agg2 = ports_[core][static_cast<std::size_t>(down)].peer;
+    push_hop(out, {src_tor, up}, key, now);
+    push_hop(out, {agg, cup}, key, now);
+    push_hop(out, {core, down}, key, now);
+    push_hop(out, {agg2, port_to(agg2, dst_tor)}, key, now);
+    push_hop(out, {dst_tor, port_to(dst_tor, dst)}, key, now);
+    return true;
+  }
+  if (dc_[src] != dc_[dst]) {
+    const int gw = gateway_of_dc_[static_cast<std::size_t>(dc_[src])];
+    const int peer_gw = gateway_of_dc_[static_cast<std::size_t>(dc_[dst])];
+    // The long-haul hop is the only path between the fabrics.
+    if (!plan.link_up(gw, peer_gw, now)) return false;
+    std::vector<int> ups;
+    for (const int up : tor_uplinks_[src_tor]) {
+      const int spine = ports_[src_tor][static_cast<std::size_t>(up)].peer;
+      if (plan.link_up(src_tor, spine, now) && plan.link_up(spine, gw, now)) {
+        ups.push_back(up);
+      }
+    }
+    if (ups.empty()) return false;
+    const int up = ups[static_cast<std::size_t>(
+        ecmp(key, static_cast<int>(ups.size()), 11))];
+    const int spine = ports_[src_tor][static_cast<std::size_t>(up)].peer;
+    // Down side: the gateway's spine ports (every port but the final
+    // long-haul one), filtered the same way.
+    std::vector<int> downs;
+    const int n_gw_ports = static_cast<int>(ports_[peer_gw].size());
+    for (int p = 0; p < n_gw_ports - 1; ++p) {
+      const int ds = ports_[peer_gw][static_cast<std::size_t>(p)].peer;
+      if (plan.link_up(peer_gw, ds, now) && plan.link_up(ds, dst_tor, now)) {
+        downs.push_back(p);
+      }
+    }
+    if (downs.empty()) return false;
+    const int dport = downs[static_cast<std::size_t>(
+        ecmp(key, static_cast<int>(downs.size()), 13))];
+    const int down_spine = ports_[peer_gw][static_cast<std::size_t>(
+        dport)].peer;
+    push_hop(out, {src_tor, up}, key, now);
+    push_hop(out, {spine, port_to(spine, gw)}, key, now);
+    push_hop(out, {gw, port_to(gw, peer_gw)}, key, now);
+    push_hop(out, {peer_gw, dport}, key, now);
+    push_hop(out, {down_spine, port_to(down_spine, dst_tor)}, key, now);
+    push_hop(out, {dst_tor, port_to(dst_tor, dst)}, key, now);
+    return true;
+  }
+  // Two-tier, same DC: spines with both legs alive.
+  std::vector<int> ups;
+  for (const int up : tor_uplinks_[src_tor]) {
+    const int spine = ports_[src_tor][static_cast<std::size_t>(up)].peer;
+    if (plan.link_up(src_tor, spine, now) &&
+        plan.link_up(spine, dst_tor, now)) {
+      ups.push_back(up);
+    }
+  }
+  if (ups.empty()) return false;
+  const int up = ups[static_cast<std::size_t>(
+      ecmp(key, static_cast<int>(ups.size()), 3))];
+  const int spine = ports_[src_tor][static_cast<std::size_t>(up)].peer;
+  push_hop(out, {src_tor, up}, key, now);
+  push_hop(out, {spine, port_to(spine, dst_tor)}, key, now);
+  push_hop(out, {dst_tor, port_to(dst_tor, dst)}, key, now);
+  return true;
 }
 
 }  // namespace bfc

@@ -18,6 +18,8 @@
 
 namespace bfc {
 
+class FaultPlan;
+
 struct PortInfo {
   int peer = -1;       // node id on the other end
   int peer_port = -1;  // index of this link in the peer's port list
@@ -163,18 +165,33 @@ class HopVec {
   const Hop& operator[](std::size_t i) const { return hops_[i]; }
   const Hop* begin() const { return hops_; }
   const Hop* end() const { return hops_ + n_; }
+  bool operator==(const HopVec& o) const {
+    if (n_ != o.n_) return false;
+    for (int i = 0; i < n_; ++i) {
+      if (!(hops_[i] == o.hops_[i])) return false;
+    }
+    return true;
+  }
+  bool operator!=(const HopVec& o) const { return !(*this == o); }
   // Checked in every build mode: the deepest real path (cross-DC) is 7
   // hops, so an 8th-plus hop means a new topology family outgrew the
   // cache — overrunning the inline array would silently corrupt the
   // Flow, so fail loudly instead (a once-per-flow-per-hop compare).
   void push_back(const Hop& h) {
-    if (n_ >= kMaxHops) {
+    if (!try_push(h)) {
       std::fprintf(stderr,
                    "HopVec: path exceeds %d hops; grow kMaxHops for the "
                    "new topology\n", kMaxHops);
       std::abort();
     }
+  }
+  // Checked push for callers that can attach context to the failure: the
+  // fault-plane reroute path uses this so an overflowing detour names the
+  // flow and the active fault instead of the generic message above.
+  bool try_push(const Hop& h) {
+    if (n_ >= kMaxHops) return false;
     hops_[n_++] = h;
+    return true;
   }
   void clear() { n_ = 0; }
 
@@ -210,6 +227,17 @@ class TopoGraph {
   // tests/test_routes.cpp asserts it is hop-for-hop identical to
   // route() for every locality class.
   void route_into(const FlowKey& key, HopVec& out) const;
+
+  // Liveness-masked resolution for the fault plane: same hop structure
+  // and ECMP salts, but every candidate list is filtered to links that
+  // `plan` reports up at `now` before the ECMP pick — so a flap steers
+  // flows onto a surviving (up, core, down) detour, and once every link
+  // is back the filtered lists equal the full ones and the choice
+  // converges to the eager route (tests/test_routes.cpp asserts both).
+  // Returns false (out cleared) when no surviving path exists; the NIC
+  // parks the flow and retries with capped exponential backoff.
+  bool route_into(const FlowKey& key, HopVec& out, const FaultPlan& plan,
+                  Time now) const;
 
   // Shard assignment for the parallel engine: every node to one of
   // `n_shards` workers. Locality groups — a pod (3-tier) or a ToR with

@@ -96,6 +96,16 @@ ExperimentResult run_experiment(const TopoGraph& topo,
   const int shards = cfg.shards > 0 ? cfg.shards : default_shards();
   ShardedSimulator sim(topo, shards, cfg.sync);
   Network net(sim, topo, cfg.scheme, cfg.overrides);
+  // Fault schedule first: the pre-seeded link-state events consume
+  // per-entity sequence numbers, so their position in the setup order is
+  // part of the determinism contract (always before flow preparation).
+  // Runs without a scripted plan take one from the BFC_FAULT_* env knobs
+  // (empty when unset), so any bench can be stormed without a rebuild;
+  // the local must outlive the run (Network keeps a pointer).
+  const FaultPlan env_faults =
+      cfg.faults.empty() ? FaultPlan::from_env(topo, cfg.traffic.stop)
+                         : FaultPlan();
+  net.install_faults(cfg.faults.empty() ? env_faults : cfg.faults);
   // Flows are pre-derived from the (open-loop) arrival trace and activated
   // by per-NIC events, so a multi-shard run starts them without any
   // cross-shard calls.
@@ -129,6 +139,30 @@ ExperimentResult run_experiment(const TopoGraph& topo,
     }
   }
 
+  // Goodput sampling, same shard-local pattern: each shard records the
+  // cumulative delivered payload of its own NICs per tick; the per-tick
+  // totals summed over shards below are shard-count independent.
+  std::vector<std::vector<std::int64_t>> gseries(
+      static_cast<std::size_t>(sim.n_shards()));
+  if (cfg.goodput_sample_period > 0) {
+    const auto& nics = net.nics();
+    for (int s = 0; s < sim.n_shards(); ++s) {
+      std::vector<const Nic*> mine;
+      for (const Nic* nic : nics) {
+        if (sim.shard_of(nic->id()) == s) mine.push_back(nic);
+      }
+      if (mine.empty()) continue;
+      auto& out = gseries[static_cast<std::size_t>(s)];
+      for (Time t = 0; t <= horizon; t += cfg.goodput_sample_period) {
+        sim.shard(s).post_closure(t, [&out, mine] {
+          std::int64_t sum = 0;
+          for (const Nic* nic : mine) sum += nic->stats().delivered_payload;
+          out.push_back(sum);
+        });
+      }
+    }
+  }
+
   const auto wall0 = std::chrono::steady_clock::now();
   sim.run_until(horizon);
   const double wall_sec =
@@ -159,6 +193,21 @@ ExperimentResult run_experiment(const TopoGraph& topo,
   const NicStats nt = net.nic_totals();
   r.acks_data_path = nt.acks_data_path;
   r.acks_deferred = nt.acks_deferred;
+  r.blackholed = net.switch_totals().blackholed + nt.blackholed;
+  r.reroutes = nt.reroutes;
+  r.unreachable_parks = nt.unreachable_parks;
+  if (cfg.goodput_sample_period > 0) {
+    std::size_t g_ticks = ~std::size_t{0};
+    for (const auto& gs : gseries) {
+      if (!gs.empty()) g_ticks = std::min(g_ticks, gs.size());
+    }
+    if (g_ticks == ~std::size_t{0}) g_ticks = 0;
+    r.goodput_bytes.assign(g_ticks, 0);
+    for (const auto& gs : gseries) {
+      if (gs.empty()) continue;
+      for (std::size_t t = 0; t < g_ticks; ++t) r.goodput_bytes[t] += gs[t];
+    }
+  }
   r.shards = shards;
   r.events_processed = sim.events_processed();
   for (int s = 0; s < sim.n_shards(); ++s) {

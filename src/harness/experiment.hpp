@@ -50,6 +50,15 @@ struct ExperimentConfig {
   int shards = 0;  // engine shards; 0 = BFC_SHARDS env (default 1)
   // Cross-shard sync protocol; kEnv = BFC_SYNC env (default channel).
   SyncMode sync = SyncMode::kEnv;
+  // Fault plane: link flaps / node failures injected as pre-seeded engine
+  // events (core/fault.hpp). Installed right after Network construction;
+  // an empty plan is a no-op. The config (and thus the plan) must outlive
+  // the run — run_experiment takes it by reference.
+  FaultPlan faults;
+  // Goodput time series: when > 0, samples cumulative delivered payload
+  // bytes (summed over NICs) every period — the graceful-degradation
+  // benches derive goodput-vs-time and recovery latency from it.
+  Time goodput_sample_period = 0;
 };
 
 struct ExperimentResult {
@@ -70,6 +79,15 @@ struct ExperimentResult {
   // busy/paused and had to wait (ext_timely asserts both engage).
   std::int64_t acks_data_path = 0;
   std::int64_t acks_deferred = 0;
+  // Fault-plane rollups (deterministic device counters, zero without a
+  // FaultPlan): packets destroyed by dead links, send-path re-resolves
+  // that moved a flow, and sends parked with no surviving path.
+  std::int64_t blackholed = 0;
+  std::int64_t reroutes = 0;
+  std::int64_t unreachable_parks = 0;
+  // Cumulative delivered payload bytes at each goodput_sample_period
+  // tick (empty when the period is 0); deterministic at any shard count.
+  std::vector<std::int64_t> goodput_bytes;
   // Engine telemetry (fig15_scale): how much work the run was, how fast
   // the engine chewed through it, and how evenly the partition spread it
   // (per-shard event counts expose placement imbalance).

@@ -45,6 +45,12 @@ enum Counter {
   kStealBatchesOffered, // batches posted to the steal board
   kStealBatchesStolen,  // batches executed by a non-owning shard
   kEpochSamples,        // gauge/histogram sampling points taken
+  // Fault plane (core/fault.hpp). Unlike the scheduling counters above,
+  // these mirror deterministic device counters (NicStats/SwitchTotals)
+  // into the telemetry timeline; the determinism rig still compares the
+  // device-side values, never these.
+  kFaultReroutes,       // send-path re-resolutions that changed the path
+  kFaultParks,          // sends parked because no surviving path existed
   kCounterCount,
 };
 
@@ -72,6 +78,8 @@ inline const char* gauge_name(int g) {
 enum Histo {
   kWheelDepth = 0,
   kInboxDepth,
+  kFaultRecovery,  // ns from a flow's first unreachable park to the
+                   // successful re-resolve that unparked it
   kHistoCount,
 };
 constexpr int kHistoBuckets = 32;
@@ -110,6 +118,7 @@ enum class SpanKind : std::uint8_t {
   kReclaim,      // a = switch node                  b = ports freed
   kPause,        // a = switch node                  b = ingress port
   kGaugeSample,  // a = Gauge index                  b = sampled value
+  kLinkDown,     // a = node                         b = port (outage span)
 };
 
 struct TraceSpan {

@@ -51,6 +51,13 @@ void emit_span(std::FILE* f, int shard, const TraceSpan& s, bool* first) {
                    "\"args\":{\"value\":%" PRId64 "}}",
                    comma, gauge_name(s.a), shard, usec(s.t0), s.b);
       break;
+    case SpanKind::kLinkDown:
+      std::fprintf(f,
+                   "%s{\"name\":\"link-down\",\"ph\":\"X\",\"pid\":0,"
+                   "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+                   "\"args\":{\"node\":%d,\"port\":%" PRId64 "}}",
+                   comma, shard, usec(s.t0), usec(dur), s.a, s.b);
+      break;
   }
 }
 

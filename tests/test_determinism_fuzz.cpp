@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/fault.hpp"
 #include "harness/experiment.hpp"
 #include "obs/flight_recorder.hpp"
 
@@ -51,6 +52,8 @@ struct FuzzCase {
   bool steal = false;
   bool coop = false;
   int ring_cap = 0;  // 0 = default
+  int flaps = 0;     // fault plane: random fabric link flaps (0 = none)
+  std::uint64_t fault_seed = 0;
 };
 
 FuzzCase derive_case(int index) {
@@ -67,6 +70,10 @@ FuzzCase derive_case(int index) {
   c.coop = (mix64(s) & 1) != 0;  // ignored when stealing (steal => threads)
   const int caps[] = {0, 4, 64, 1024};
   c.ring_cap = caps[mix64(s) % 4];
+  // Fault dimension, appended last so pre-fault cases keep their exact
+  // historical derivation (replay indices stay meaningful).
+  c.flaps = static_cast<int>(mix64(s) % 3);  // 0, 1, or 2 flaps
+  c.fault_seed = mix64(s);
   return c;
 }
 
@@ -104,6 +111,13 @@ ExperimentResult run_case(const TopoGraph& topo, const FuzzCase& c,
   cfg.traffic.seed = c.seed;
   cfg.drain = microseconds(400);
   cfg.shards = shards;
+  if (c.flaps > 0) {
+    // A storm in the middle half of the run, held for stop/8: long
+    // enough that re-resolution and blackholing demonstrably fire.
+    cfg.faults = FaultPlan::random_flaps(topo, c.flaps, c.stop / 4,
+                                         (c.stop * 3) / 4, c.stop / 8,
+                                         c.fault_seed);
+  }
   return run_experiment(topo, cfg);
 }
 
@@ -115,6 +129,8 @@ bool stats_equal(const ExperimentResult& a, const ExperimentResult& b) {
          a.bfc.pauses == b.bfc.pauses && a.bfc.resumes == b.bfc.resumes &&
          a.bfc.overflow_packets == b.bfc.overflow_packets &&
          a.collision_frac == b.collision_frac &&
+         a.blackholed == b.blackholed && a.reroutes == b.reroutes &&
+         a.unreachable_parks == b.unreachable_parks &&
          a.buffer_samples_mb == b.buffer_samples_mb &&
          a.p99_slowdown == b.p99_slowdown;
 }
@@ -127,6 +143,9 @@ void check_identical(const ExperimentResult& a, const ExperimentResult& b) {
   CHECK(a.bfc.resumes == b.bfc.resumes);
   CHECK(a.bfc.overflow_packets == b.bfc.overflow_packets);
   CHECK(a.collision_frac == b.collision_frac);
+  CHECK(a.blackholed == b.blackholed);
+  CHECK(a.reroutes == b.reroutes);
+  CHECK(a.unreachable_parks == b.unreachable_parks);
   CHECK(a.buffer_samples_mb == b.buffer_samples_mb);
   CHECK(a.p99_slowdown == b.p99_slowdown);
   CHECK(a.bins.size() == b.bins.size());
@@ -140,11 +159,11 @@ void check_identical(const ExperimentResult& a, const ExperimentResult& b) {
 void run_one(int index) {
   const FuzzCase c = derive_case(index);
   std::printf("case %d: topo=%s scheme=%s seed=%llu load=%.2f incast=%.2f "
-              "stop=%lld shards=%d steal=%d coop=%d ring_cap=%d\n",
+              "stop=%lld shards=%d steal=%d coop=%d ring_cap=%d flaps=%d\n",
               index, topo_name(c.topo_kind), scheme_name(c.scheme),
               static_cast<unsigned long long>(c.seed), c.load, c.incast_load,
               static_cast<long long>(c.stop), c.shards,
-              c.steal ? 1 : 0, c.coop ? 1 : 0, c.ring_cap);
+              c.steal ? 1 : 0, c.coop ? 1 : 0, c.ring_cap, c.flaps);
   std::fflush(stdout);
 
   const TopoGraph topo = build_topo(c.topo_kind);
@@ -195,6 +214,33 @@ void run_one(int index) {
   check_identical(ref, got);
 }
 
+// The indexed cases draw their flap count randomly; this sweep always
+// storms, so every full run proves at least one faulted configuration
+// bit-identical across the 1/4/8-shard ladder.
+void faulted_sweep() {
+  FuzzCase c;
+  c.topo_kind = 0;
+  c.scheme = Scheme::kBfc;
+  c.seed = 4242;
+  c.load = 0.5;
+  c.incast_load = 0.04;
+  c.stop = microseconds(200);
+  c.flaps = 3;
+  c.fault_seed = 9001;
+  const TopoGraph topo = build_topo(c.topo_kind);
+  const ExperimentResult ref = run_case(topo, c, 1);
+  CHECK(ref.flows_started > 0);
+  // The storm must actually bite, or the sweep proves nothing.
+  CHECK(ref.blackholed + ref.reroutes + ref.unreachable_parks > 0);
+  check_identical(ref, run_case(topo, c, 4));
+  check_identical(ref, run_case(topo, c, 8));
+  std::printf("faulted sweep 1/4/8 shards bit-identical (blackholed=%lld "
+              "reroutes=%lld parks=%lld)\n",
+              static_cast<long long>(ref.blackholed),
+              static_cast<long long>(ref.reroutes),
+              static_cast<long long>(ref.unreachable_parks));
+}
+
 long env_long(const char* name, long fallback) {
   const char* env = std::getenv(name);
   if (env == nullptr || *env == '\0') return fallback;
@@ -226,6 +272,7 @@ int main() {
   }
   const long n = env_long("BFC_FUZZ_CASES", kDefaultCases);
   for (int i = 0; i < n; ++i) run_one(i);
+  faulted_sweep();
   std::printf("%ld cases: OK\n", n);
   return 0;
 }

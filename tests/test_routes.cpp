@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "core/network.hpp"
 #include "core/topology.hpp"
 #include "sim/rng.hpp"
@@ -97,6 +98,73 @@ void lazy_matches_eager_after_run() {
               uids.size());
 }
 
+// Fault plane: the liveness-masked resolver. Three properties, each per
+// random pair: an empty plan (and any time before the first fault) gives
+// exactly the eager route; mid-outage, whatever path comes back never
+// crosses a link the plan reports down (and some routes demonstrably
+// detour); once the last link is back up the masked choice converges to
+// the eager route again (same salts, full candidate lists).
+void fault_masked_differential(const char* name, const TopoGraph& topo,
+                               std::uint64_t seed, int n_pairs) {
+  const FaultPlan plan = FaultPlan::random_flaps(
+      topo, 4, microseconds(10), microseconds(20), microseconds(10), seed);
+  CHECK(!plan.empty());
+  const FaultPlan none;
+  // transitions() is sorted by time and every random flap comes back up,
+  // so the last entry is the final link-up (applied at exactly its time).
+  const Time after = plan.transitions().back().at;
+  std::vector<Time> outages;  // a down applies at exactly its timestamp
+  for (const FaultPlan::Transition& tr : plan.transitions()) {
+    if (!tr.up) outages.push_back(tr.at);
+  }
+  CHECK(!outages.empty());
+  Rng rng(seed * 77 + 1);
+  const auto& hosts = topo.hosts();
+  int checked = 0, detours = 0, severed = 0;
+  while (checked < n_pairs) {
+    const int src = hosts[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(hosts.size()) - 1))];
+    const int dst = hosts[static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(hosts.size()) - 1))];
+    if (src == dst) continue;
+    const FlowKey key{static_cast<std::uint32_t>(src),
+                      static_cast<std::uint32_t>(dst),
+                      static_cast<std::uint16_t>(rng.uniform_int(1, 65535)),
+                      static_cast<std::uint16_t>(rng.uniform_int(1, 65535))};
+    HopVec eager;
+    topo.route_into(key, eager);
+    HopVec masked;
+    CHECK(topo.route_into(key, masked, none, outages[0]));
+    CHECK(masked == eager);
+    masked.clear();
+    CHECK(topo.route_into(key, masked, plan, 0));
+    CHECK(masked == eager);
+    for (const Time t : outages) {
+      masked.clear();
+      if (!topo.route_into(key, masked, plan, t)) {
+        ++severed;  // no surviving path: the NIC would park this flow
+        continue;
+      }
+      CHECK(!masked.empty());
+      for (const Hop& h : masked) {
+        const PortInfo& p =
+            topo.ports(h.node)[static_cast<std::size_t>(h.port)];
+        CHECK(plan.link_up(h.node, p.peer, t));
+      }
+      if (masked != eager) ++detours;
+    }
+    masked.clear();
+    CHECK(topo.route_into(key, masked, plan, after));
+    CHECK(masked == eager);
+    ++checked;
+  }
+  CHECK(detours > 0);
+  std::printf("fault mask differential ok: %s (%d pairs, %d detours, "
+              "%d severed, seed %llu)\n",
+              name, n_pairs, detours, severed,
+              static_cast<unsigned long long>(seed));
+}
+
 }  // namespace
 
 int main() {
@@ -112,6 +180,16 @@ int main() {
   differential("t2_128", TopoGraph::fat_tree(FatTreeConfig::t2()), 11, 300);
   differential("cross_dc", TopoGraph::cross_dc(CrossDcConfig::paper()), 13,
                300);
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    fault_masked_differential(
+        "t3_small", TopoGraph::three_tier(ThreeTierConfig::t3_small()), seed,
+        200);
+    fault_masked_differential(
+        "t3_1024", TopoGraph::three_tier(ThreeTierConfig::t3_1024()), seed,
+        200);
+  }
+  fault_masked_differential("cross_dc", TopoGraph::cross_dc(CrossDcConfig::paper()),
+                            13, 200);
   lazy_matches_eager_after_run();
   return 0;
 }

@@ -71,6 +71,73 @@ def load_topos(path):
     return engine.get("topos", {}), engine.get("scale"), doc.get("baseline", {})
 
 
+def load_fault(path):
+    """The "fault" section ext_fault writes (graceful-degradation
+    headline). Absent section -> {} (not every bench sweep runs it)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError):
+        return {}
+    return doc.get("fault", {})
+
+
+def gate_fault(current, baseline, tolerance):
+    """Gates the fault-plane headline. The booleans are invariants — a
+    run that loses flows or never recovers goodput across the storm
+    fails regardless of baseline or scale. Recovery latency is sim-time
+    (deterministic), but its magnitude depends on the run length, so it
+    is compared against the baseline only when both recorded the same
+    BFC_BENCH_SCALE. Returns (failures, markdown); both empty when the
+    current run has no fault section (the sweep didn't run ext_fault)."""
+    if not current:
+        return [], ""
+    failures = []
+    head = current.get("headline", {})
+    if not head.get("bfc_all_complete", 0):
+        failures.append("fault: BFC lost flows across the link-flap storm "
+                        "(bfc_all_complete=0)")
+    if not head.get("bfc_goodput_recovered", 0):
+        failures.append("fault: BFC goodput did not recover after the last "
+                        "link-up (bfc_goodput_recovered=0)")
+    base_head = baseline.get("headline", {}) if baseline else {}
+    cur_rec = head.get("bfc_recovery_us", -1)
+    base_rec = base_head.get("bfc_recovery_us", -1)
+    same_scale = bool(baseline) and current.get("scale") == baseline.get(
+        "scale")
+    rec_status = "ok"
+    if same_scale and cur_rec > 0 and base_rec > 0:
+        if cur_rec > base_rec * (1.0 + tolerance):
+            rec_status = "REGRESSION"
+            failures.append(
+                f"fault: recovery latency {cur_rec:,.1f}us is beyond the "
+                f"gate ({base_rec * (1.0 + tolerance):,.1f}us = baseline "
+                f"{base_rec:,.1f}us x (1 + {tolerance:.2f}))")
+    elif not same_scale:
+        rec_status = "skipped (scale mismatch)"
+    lines = ["## Fault-plane gate (ext_fault headline)", "",
+             "| metric | baseline | this run | status |",
+             "|---|---:|---:|---|"]
+
+    def row(key, status):
+        base_v = base_head.get(key)
+        cur_v = head.get(key)
+        lines.append("| {} | {} | {} | {} |".format(
+            key,
+            "-" if base_v is None else f"{base_v:,.6g}",
+            "-" if cur_v is None else f"{cur_v:,.6g}",
+            status))
+
+    row("bfc_all_complete",
+        "ok" if head.get("bfc_all_complete", 0) else "FAIL")
+    row("bfc_goodput_recovered",
+        "ok" if head.get("bfc_goodput_recovered", 0) else "FAIL")
+    row("bfc_recovery_us", rec_status)
+    row("bfc_blackholed", "info")
+    row("bfc_buffer_p99_mb", "info")
+    return failures, "\n".join(lines) + "\n"
+
+
 def load_history_file(path):
     """Committed BENCH_history.json: {"runs": [{"scale":..., "topos":
     {...}}, ...]}, oldest first (every PR appends). Returns a list of
@@ -523,6 +590,43 @@ def self_test():
     t2 = render_trajectory(many, cur, 0.05, limit=8)
     assert " 5.00" not in t2 and "12.00" in t2, \
         "trajectory keeps only the window tail"
+
+    # Fault-plane gate: invariants always, recovery latency only on a
+    # scale match, and no fault section means no fault gating.
+    fault_base = {"scale": 1.0, "headline": {
+        "bfc_all_complete": 1, "bfc_goodput_recovered": 1,
+        "bfc_recovery_us": 40.0, "bfc_blackholed": 120,
+        "bfc_buffer_p99_mb": 3.2}}
+    fault_ok = {"scale": 1.0, "headline": {
+        "bfc_all_complete": 1, "bfc_goodput_recovered": 1,
+        "bfc_recovery_us": 44.0, "bfc_blackholed": 130,
+        "bfc_buffer_p99_mb": 3.4}}
+    ff, rep = gate_fault(fault_ok, fault_base, 0.25)
+    assert ff == [] and "bfc_recovery_us" in rep, \
+        "healthy fault headline must pass and render"
+    lost = {"scale": 1.0, "headline": dict(fault_ok["headline"],
+                                           bfc_all_complete=0)}
+    ff, _ = gate_fault(lost, fault_base, 0.25)
+    assert any("lost flows" in m for m in ff), "lost flows must fail"
+    stuck = {"scale": 1.0, "headline": dict(fault_ok["headline"],
+                                            bfc_goodput_recovered=0)}
+    ff, _ = gate_fault(stuck, fault_base, 0.25)
+    assert any("did not recover" in m for m in ff), \
+        "unrecovered goodput must fail"
+    slow_rec = {"scale": 1.0, "headline": dict(fault_ok["headline"],
+                                               bfc_recovery_us=80.0)}
+    ff, _ = gate_fault(slow_rec, fault_base, 0.25)
+    assert any("recovery latency" in m for m in ff), \
+        "2x recovery latency must fail at matched scale"
+    off_scale = {"scale": 0.05, "headline": dict(fault_ok["headline"],
+                                                 bfc_recovery_us=80.0)}
+    ff, rep = gate_fault(off_scale, fault_base, 0.25)
+    assert ff == [] and "scale mismatch" in rep, \
+        "recovery latency is not compared across scales"
+    ff, rep = gate_fault({}, fault_base, 0.25)
+    assert ff == [] and rep == "", "no fault section -> no fault gating"
+    ff, _ = gate_fault(lost, {}, 0.25)
+    assert ff, "invariants hold even with no committed fault baseline"
     print("perf_gate self-test ok")
 
 
@@ -581,6 +685,12 @@ def main():
                              current, cur_scale)
     if traj:
         report += "\n" + traj
+    fault_failures, fault_report = gate_fault(load_fault(args.current),
+                                              load_fault(args.baseline),
+                                              args.tolerance)
+    failures += fault_failures
+    if fault_report:
+        report += "\n" + fault_report
     print(report)
     if args.summary:
         with open(args.summary, "a") as f:

@@ -12,6 +12,7 @@
 #include "bench_util.hpp"
 
 #include "core/fault.hpp"
+#include "harness/sweep_server.hpp"
 
 using namespace bfc;
 
@@ -130,8 +131,11 @@ int main() {
       {"DCQCN+Win+IRN", Scheme::kDcqcnWin, true},
   };
 
-  std::vector<ExperimentResult> results;
-  std::vector<Recovery> recs;
+  // The three schemes share nothing restorable (different CC state), so
+  // the resident path serves them as a parallel batch of cold points;
+  // results are positional, so every printed line and recorded row is
+  // byte-identical to the serial path.
+  std::vector<ExperimentConfig> cfgs;
   for (const Row& row : rows) {
     ExperimentConfig cfg = bench::standard_config(row.scheme, "google", 0.60,
                                                   0.0, stop);
@@ -139,10 +143,21 @@ int main() {
     cfg.drain = milliseconds(4);  // room for backoff-parked retries
     cfg.faults = storm.plan;
     cfg.goodput_sample_period = period;
-    results.push_back(run_experiment(topo, cfg));
-    results.back().scheme = row.name;
-    recs.push_back(analyze(results.back(), period, storm));
-    const ExperimentResult& r = results.back();
+    cfgs.push_back(cfg);
+  }
+  std::vector<ExperimentResult> results;
+  if (SweepServer::resident_enabled()) {
+    results = SweepServer::run_batch(topo, cfgs);
+  } else {
+    for (const ExperimentConfig& cfg : cfgs) {
+      results.push_back(run_experiment(topo, cfg));
+    }
+  }
+  std::vector<Recovery> recs;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].scheme = rows[i].name;
+    recs.push_back(analyze(results[i], period, storm));
+    const ExperimentResult& r = results[i];
     const Recovery& rec = recs.back();
     std::printf(
         "[%-13s] flows=%llu/%llu blackholed=%lld reroutes=%lld parks=%lld "

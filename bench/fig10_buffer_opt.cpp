@@ -2,14 +2,34 @@
 // to one receiver. The Section 3.5 resume limiter (2 resumes per RTT per
 // queue) caps per-queue occupancy at ~2 hop-BDPs; without it
 // (BFC-BufferOpt), occupancy grows linearly with the flow count.
+//
+// Every (scheme, flow-count) point is an isolated single-shard run, so
+// under BFC_RESIDENT=1 the points fan out over SweepServer::jobs() worker
+// threads; output and the recorded "fig10" JSON section are assembled
+// from the positional results afterward, so both are byte-identical to a
+// serial run (tools/perf_gate.py --compare holds CI to that).
+#include <atomic>
+#include <thread>
+
+#include "bench_json.hpp"
 #include "bench_util.hpp"
+#include "harness/sweep_server.hpp"
 #include "stats/samplers.hpp"
 
 using namespace bfc;
 
 namespace {
 
-double run_one(Scheme scheme, int n_flows, Time stop) {
+struct PointResult {
+  double p99_kb = 0;
+  std::int64_t pauses = 0;
+  std::int64_t resumes = 0;
+  std::int64_t pfc = 0;
+  std::int64_t rto = 0;
+  std::int64_t retx = 0;
+};
+
+PointResult run_one(Scheme scheme, int n_flows, Time stop) {
   const TopoGraph topo = TopoGraph::fat_tree(FatTreeConfig::t2());
   ShardedSimulator sim(topo, 1);
   // The figure isolates BFC's own buffering behavior: a deep shared
@@ -67,18 +87,16 @@ double run_one(Scheme scheme, int n_flows, Time stop) {
         }
       });
   sim.run_until(stop);
-  std::int64_t rto = 0, retx = 0;
+  PointResult r;
   for (const auto* n : net.nics()) {
-    rto += n->stats().rto_fires;
-    retx += n->stats().data_retx;
+    r.rto += n->stats().rto_fires;
+    r.retx += n->stats().data_retx;
   }
-  std::printf("  [%s n=%d] pauses=%lld resumes=%lld pfc=%lld rto=%lld retx=%lld\n",
-              scheme_name(scheme), n_flows,
-              static_cast<long long>(net.bfc_totals().pauses),
-              static_cast<long long>(net.bfc_totals().resumes),
-              static_cast<long long>(net.switch_totals().pfc_pauses_sent),
-              static_cast<long long>(rto), static_cast<long long>(retx));
-  return percentile(qsamples.samples(), 99);
+  r.pauses = net.bfc_totals().pauses;
+  r.resumes = net.bfc_totals().resumes;
+  r.pfc = net.switch_totals().pfc_pauses_sent;
+  r.p99_kb = percentile(qsamples.samples(), 99);
+  return r;
 }
 
 }  // namespace
@@ -91,17 +109,86 @@ int main() {
                                       bfc::bench_scale());
   // Reference: one hop-BDP at (HRTT + tau) = 3 us and 100 Gbps is 37.5 KB.
   std::printf("2-hop BDP reference: %.1f KB\n\n", 2 * 37.5);
-  std::printf("%-10s %16s %22s\n", "flows", "BFC p99 q (KB)",
-              "BFC-BufferOpt p99 q (KB)");
+
+  struct Point {
+    Scheme scheme;
+    int flows;
+    Time stop_n;
+  };
+  std::vector<Point> points;
   for (int flows : {8, 16, 32, 64, 128, 256}) {
     // The synchronized-start pile-up drains at ~1/n_queues of the port
     // rate, so the time to reach the steady state the paper plots grows
     // with the flow count; stretch the run to keep the sampling window
     // (second half) clear of the transient.
     const Time stop_n = stop * std::max(1, flows / 32);
-    const double b = run_one(Scheme::kBfc, flows, stop_n);
-    const double n = run_one(Scheme::kBfcNoResumeLimit, flows, stop_n);
-    std::printf("%-10d %16.1f %22.1f\n", flows, b, n);
+    points.push_back({Scheme::kBfc, flows, stop_n});
+    points.push_back({Scheme::kBfcNoResumeLimit, flows, stop_n});
+  }
+
+  std::vector<PointResult> results(points.size());
+  if (SweepServer::resident_enabled() && SweepServer::jobs() > 1) {
+    // Resident mode: points are isolated (own sim+net each), so fan them
+    // out over a claim-counter pool. Results land positionally.
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= points.size()) return;
+        results[i] = run_one(points[i].scheme, points[i].flows,
+                             points[i].stop_n);
+      }
+    };
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(SweepServer::jobs()), points.size()));
+    std::vector<std::thread> pool;
+    for (int w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& th : pool) th.join();
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      results[i] = run_one(points[i].scheme, points[i].flows,
+                           points[i].stop_n);
+    }
+  }
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& r = results[i];
+    std::printf(
+        "  [%s n=%d] pauses=%lld resumes=%lld pfc=%lld rto=%lld retx=%lld\n",
+        scheme_name(points[i].scheme), points[i].flows,
+        static_cast<long long>(r.pauses), static_cast<long long>(r.resumes),
+        static_cast<long long>(r.pfc), static_cast<long long>(r.rto),
+        static_cast<long long>(r.retx));
+  }
+  std::printf("\n%-10s %16s %22s\n", "flows", "BFC p99 q (KB)",
+              "BFC-BufferOpt p99 q (KB)");
+  for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
+    std::printf("%-10d %16.1f %22.1f\n", points[i].flows, results[i].p99_kb,
+                results[i + 1].p99_kb);
+  }
+
+  // Machine-readable rows ("fig10" section): every field is a pure
+  // function of the simulation, so the CI warm-start gate compares the
+  // cold and resident legs' sections in full.
+  {
+    std::ostringstream body;
+    body.precision(3);
+    body << std::fixed;
+    body << "{\n    \"scale\": " << bench_scale() << ",\n    \"rows\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const PointResult& r = results[i];
+      body << "      {\"scheme\": \"" << scheme_name(points[i].scheme)
+           << "\", \"flows\": " << points[i].flows
+           << ", \"p99_kb\": " << r.p99_kb
+           << ", \"pauses\": " << r.pauses
+           << ", \"resumes\": " << r.resumes
+           << ", \"pfc\": " << r.pfc
+           << ", \"rto\": " << r.rto
+           << ", \"retx\": " << r.retx << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    body << "    ]\n  }";
+    bench::update_bench_json("fig10", body.str());
   }
   return 0;
 }

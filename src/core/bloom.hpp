@@ -39,6 +39,17 @@ class CountingBloom {
   int n_hashes() const { return n_hashes_; }
   bool empty() const { return nonzero_ == 0; }
 
+  // Checkpoint plumbing (core/snapshot.hpp): the raw counters are the
+  // whole mutable state; nonzero_ is recomputed and the cached snapshot
+  // dropped (it is rebuilt lazily, so behavior is unchanged).
+  const std::vector<std::uint8_t>& counters() const { return counters_; }
+  void set_counters(std::vector<std::uint8_t> counters) {
+    counters_ = std::move(counters);
+    nonzero_ = 0;
+    for (const std::uint8_t c : counters_) nonzero_ += c > 0 ? 1 : 0;
+    cached_.reset();
+  }
+
  private:
   std::vector<std::uint8_t> counters_;
   int n_hashes_;

@@ -58,6 +58,8 @@ class FlowStats {
   std::size_t completed() const { return completed_; }
 
  private:
+  friend class Snapshot;  // checkpoint/restore of records_/pending_/completed_
+
   std::map<std::uint64_t, FlowRecord> records_;
   std::vector<std::pair<std::uint64_t, Time>> pending_;
   std::size_t completed_ = 0;

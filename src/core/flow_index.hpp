@@ -108,6 +108,8 @@ class FlowIndex {
   std::uint64_t transitions() const { return transitions_; }
 
  private:
+  friend class Snapshot;  // checkpoint/restore of the class containers
+
   bool paused(const Flow* f) const {
     return bfc_ && bits_ != nullptr &&
            bloom_snapshot_contains(*bits_, f->vfid, hashes_);

@@ -75,6 +75,8 @@ class FlowTable {
   std::size_t allocated_bytes() const;
 
  private:
+  friend class Snapshot;  // checkpoint/restore (chunk set, rejects_)
+
   // 64 buckets per chunk: at the default geometry (16384 VFIDs, 4 ways)
   // a chunk is ~23 KB and a switch has 64 of them, materialized only as
   // flows hash in.

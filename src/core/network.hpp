@@ -69,6 +69,13 @@ class Network {
   void install_faults(const FaultPlan& plan);
   const FaultPlan* faults() const { return faults_; }
 
+  // Checkpoint restore path (core/snapshot.hpp): adopts the schedule
+  // WITHOUT pre-seeding transition events — the saved event list already
+  // carries the not-yet-fired ev_link_state events, and re-posting would
+  // both double-fire them and consume sequence numbers the snapshot
+  // accounted to other events. Same lifetime contract as install_faults.
+  void adopt_faults(const FaultPlan& plan) { faults_ = &plan; }
+
   // Send-path route validation (source NIC's shard). Cheap epoch check
   // against the plan; on mismatch, re-resolves under the liveness mask.
   // kUnreachable means the flow was parked: next_send pushed out by a
@@ -137,6 +144,8 @@ class Network {
   static void ev_link_state(Event& e);  // obj=Device, u.misc={-, port, up}
 
  private:
+  friend class Snapshot;  // checkpoint/restore of flows_/stats_/RNG streams
+
   Flow* make_flow(const FlowKey& key, std::uint64_t bytes, std::uint64_t uid,
                   bool incast);
   std::int64_t default_buffer(int node) const;

@@ -81,6 +81,8 @@ class Nic : public Device {
   const FlowIndex& flow_index() const { return index_; }
 
  private:
+  friend class Snapshot;  // checkpoint/restore of sender/receiver state
+
   static void ev_tx_done(Event& e);  // obj=Nic
   static void ev_wake(Event& e);     // obj=Nic, u.timer.i0=gate time
   static void ev_rto(Event& e);      // obj=Nic, u.misc={Flow, generation}

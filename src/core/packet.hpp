@@ -60,6 +60,18 @@ class RetxQueue {
     return false;
   }
 
+  // Checkpoint plumbing (core/snapshot.hpp). The queue is serialized as
+  // its pending slice [head_, end) and restored with head_ = 0 — the
+  // already-popped prefix is unobservable, so the round trip is
+  // behaviorally exact.
+  std::vector<std::uint32_t> pending() const {
+    return std::vector<std::uint32_t>(q_.begin() + static_cast<std::ptrdiff_t>(head_), q_.end());
+  }
+  void assign_pending(std::vector<std::uint32_t> pending) {
+    q_ = std::move(pending);
+    head_ = 0;
+  }
+
  private:
   std::vector<std::uint32_t> q_;
   std::size_t head_ = 0;

@@ -75,6 +75,7 @@ class ReceiverSlab {
   }
 
  private:
+  friend class Snapshot;  // checkpoint/restore of slab_/free_/hw_
   std::vector<ReceiverState> slab_;
   std::vector<std::uint32_t> free_;  // LIFO reuse keeps slots warm
   std::size_t hw_ = 0;               // high-water live slots

@@ -51,6 +51,11 @@ class SeqBitmap {
   void clear() { words_ = {}; }
   std::size_t bytes() const { return words_.size() * sizeof(std::uint64_t); }
 
+  // Checkpoint plumbing (core/snapshot.hpp): the words ARE the state,
+  // including the lazy not-yet-allocated empty case.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  void set_words(std::vector<std::uint64_t> words) { words_ = std::move(words); }
+
  private:
   static std::uint32_t popcount(std::uint64_t w) {
     return static_cast<std::uint32_t>(__builtin_popcountll(w));

@@ -108,6 +108,8 @@ class Switch : public Device {
   void on_link_state(int port, bool up) override;
 
  private:
+  friend class Snapshot;  // checkpoint/restore of the egress/ingress slabs
+
   // Section 3.5 resume limiter, per physical queue: at most 2 resumes
   // outstanding at a time. A slot is held from the resume until the
   // resumed flow's data arrives back (or its entry retires), so the

@@ -123,6 +123,13 @@ class PacketFifo {
     return p;
   }
 
+  // Checkpoint plumbing (core/snapshot.hpp): walks the queued packets in
+  // FIFO order without disturbing the queue.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const PacketNode* n = head_; n != nullptr; n = n->next) fn(n->pkt);
+  }
+
   // Detaches the head node without copying or releasing it: the caller
   // owns the node and either releases it or hands it on as an event's
   // packet payload (the switch forwarding path does the latter, so a

@@ -191,6 +191,10 @@ void Shard::run_window(Time wend, Time stop) {
     if (e->at >= obs_epoch_) obs_epoch_sample(e->at);
     if (flight_ != nullptr) flight_->push(e->at, e->key);
     if (e->fn != nullptr) {
+      // Per-node attribution feeds the checkpoint codec (closures are
+      // not node-attributable and are re-credited by the harness).
+      ++engine_->node_events_[static_cast<std::size_t>(
+          static_cast<const Device*>(e->obj)->id())];
       e->fn(*e);
     } else {
       e->u.cold.node->closure();
@@ -239,6 +243,7 @@ ShardedSimulator::ShardedSimulator(const TopoGraph& topo, int n_shards,
   n_nodes_ = topo.num_nodes();
   shard_of_ = topo.partition(S);
   seq_.assign(static_cast<std::size_t>(n_nodes_ + S), 0);
+  node_events_.assign(static_cast<std::size_t>(n_nodes_), 0);
   mbox_.resize(static_cast<std::size_t>(S) * static_cast<std::size_t>(S));
   next_time_.assign(static_cast<std::size_t>(S), 0);
   for (int s = 0; s < S; ++s) {
@@ -869,6 +874,8 @@ void ShardedSimulator::execute_batch(StealBatch& b, int executor) {
     b.now = e->at;
     ++b.events_run;
     if (b.flight != nullptr) b.flight->push_back({e->at, e->key});
+    ++node_events_[static_cast<std::size_t>(
+        static_cast<const Device*>(e->obj)->id())];
     e->fn(*e);  // closures never enter a batch (split_window pins them)
     b.owner->recycle(e);
   }
@@ -984,6 +991,29 @@ std::uint64_t ShardedSimulator::inbox_overflows() const {
     if (r != nullptr) n += r->overflowed();
   }
   return n;
+}
+
+void ShardedSimulator::drain_transport_for_snapshot() {
+  const int S = n_shards();
+  if (S == 1) return;
+  if (mode_ == SyncMode::kBarrier) {
+    for (int s = 0; s < S; ++s) drain_mailboxes(s);
+    return;
+  }
+  // A flush can refill a ring a drain just emptied, so iterate the
+  // (overflow -> ring -> wheel) pipeline to a fixed point. Ring capacity
+  // is >= 2 and drains empty completely, so every pass with parked events
+  // makes progress.
+  for (;;) {
+    std::size_t moved = 0;
+    for (int i = 0; i < S; ++i) {
+      for (int j = 0; j < S; ++j) {
+        if (i != j) moved += ring(i, j).flush_overflow();
+      }
+    }
+    for (int s = 0; s < S; ++s) moved += drain_rings(s);
+    if (moved == 0) break;
+  }
 }
 
 void ShardedSimulator::lookahead_violation(const Event* e, int src_shard,

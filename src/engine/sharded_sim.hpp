@@ -207,6 +207,7 @@ class Shard {
 
  private:
   friend class ShardedSimulator;
+  friend class Snapshot;  // checkpoint/restore of now_/wheel_/events_run_
 
   // Runs local events with timestamp < wend (and <= stop).
   void run_window(Time wend, Time stop);
@@ -302,8 +303,23 @@ class ShardedSimulator {
   // merged registry and flight snapshots from here after a run.
   obs::Telemetry* telemetry() { return telemetry_.get(); }
 
+  // Checkpoint support (core/snapshot.hpp). Handler events executed so
+  // far, per target node — a pure function of the simulation, so a
+  // restore at any shard count can rebuild each shard's events_run() as
+  // the sum over its owned nodes. Closure (environment) events are not
+  // node-attributable; the harness re-credits them per restored shard via
+  // credit_closure_events after re-seeding its samplers, which keeps the
+  // reported event totals bit-identical to an unbroken run.
+  const std::vector<std::uint64_t>& node_event_counts() const {
+    return node_events_;
+  }
+  void credit_closure_events(int shard, std::uint64_t n) {
+    shards_[static_cast<std::size_t>(shard)]->events_run_ += n;
+  }
+
  private:
   friend class Shard;
+  friend class Snapshot;  // checkpoint/restore of seq_/wheels/transport
 
   struct Mailbox {
     Event* head = nullptr;
@@ -353,6 +369,12 @@ class ShardedSimulator {
                                         int dst_shard, Time from,
                                         Time bound) const;
 
+  // Moves every in-flight cross-shard event into its destination wheel
+  // (rings + producer overflows in channel mode, mailboxes in barrier
+  // mode). Only legal while the engine is idle; the snapshot codec calls
+  // it so the saved wheels are the complete pending-event set.
+  void drain_transport_for_snapshot();
+
   std::vector<int> shard_of_;
   std::vector<std::uint32_t> seq_;  // per entity: nodes, then shard envs
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -366,6 +388,11 @@ class ShardedSimulator {
   std::unique_ptr<PubClock[]> clock_;  // per-shard published channel clock
   std::vector<std::unique_ptr<InboxRing>> rings_;  // src * S + dst
   std::vector<int> group_of_node_;
+  // Handler events executed, per target node (the event's obj device).
+  // Written only from entity-disjoint contexts — a shard's serial loop or
+  // a stolen batch, which partitions by locality group — so the plain
+  // increments are race-free. See node_event_counts().
+  std::vector<std::uint64_t> node_events_;
   bool coop_ = false;       // run all shards on the calling thread
   bool steal_on_ = false;
   std::size_t steal_threshold_ = 0;

@@ -146,6 +146,18 @@ class TimingWheel {
     }
   }
 
+  // Checkpoint plumbing (core/snapshot.hpp): visits every pending event —
+  // live batch, bucket chains, far heap — without disturbing the wheel.
+  // Visit order is unspecified; the snapshot codec sorts by (at, key).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const Item& it : batch_) fn(it.e);
+    for (Event* chain : bucket_) {
+      for (Event* e = chain; e != nullptr; e = e->next) fn(e);
+    }
+    for (const Item& it : far_) fn(it.e);
+  }
+
  private:
   static constexpr std::int64_t kMask = kSlots - 1;
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/snapshot.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -91,98 +92,214 @@ std::vector<double> bin_percentiles(const std::vector<SizeBin>& bins,
   return out;
 }
 
-ExperimentResult run_experiment(const TopoGraph& topo,
-                                const ExperimentConfig& cfg) {
-  const int shards = cfg.shards > 0 ? cfg.shards : default_shards();
-  ShardedSimulator sim(topo, shards, cfg.sync);
-  Network net(sim, topo, cfg.scheme, cfg.overrides);
+ExperimentRun::ExperimentRun(const TopoGraph& topo,
+                             const ExperimentConfig& cfg)
+    : ExperimentRun(topo, cfg, /*warm=*/false) {}
+
+ExperimentRun::ExperimentRun(const TopoGraph& topo,
+                             const ExperimentConfig& cfg, bool warm)
+    : topo_(topo), cfg_(cfg) {
+  shards_ = cfg_.shards > 0 ? cfg_.shards : default_shards();
+  horizon_ = cfg_.traffic.stop + cfg_.drain;
+  period_ = cfg_.buffer_sample_period < 1 ? 1 : cfg_.buffer_sample_period;
+  // Resolve the fault schedule into a member (Network keeps a pointer, so
+  // it must outlive net_): the scripted plan when given, else the
+  // BFC_FAULT_* env knobs (empty when unset) — any bench can be stormed
+  // without a rebuild.
+  faults_ = cfg_.faults.empty()
+                ? FaultPlan::from_env(topo_, cfg_.traffic.stop)
+                : cfg_.faults;
+  sim_ = std::make_unique<ShardedSimulator>(topo_, shards_, cfg_.sync);
+  net_ = std::make_unique<Network>(*sim_, topo_, cfg_.scheme,
+                                   cfg_.overrides);
+  series_.resize(net_->switches().size());
+  gseries_.resize(static_cast<std::size_t>(sim_->n_shards()));
+  if (warm) {
+    // Restore path: the snapshot image carries the pending fault
+    // transition events, so only adopt the schedule; flows, samplers and
+    // the cursor come from ExperimentRun::restore.
+    net_->adopt_faults(faults_);
+    return;
+  }
   // Fault schedule first: the pre-seeded link-state events consume
   // per-entity sequence numbers, so their position in the setup order is
   // part of the determinism contract (always before flow preparation).
-  // Runs without a scripted plan take one from the BFC_FAULT_* env knobs
-  // (empty when unset), so any bench can be stormed without a rebuild;
-  // the local must outlive the run (Network keeps a pointer).
-  const FaultPlan env_faults =
-      cfg.faults.empty() ? FaultPlan::from_env(topo, cfg.traffic.stop)
-                         : FaultPlan();
-  net.install_faults(cfg.faults.empty() ? env_faults : cfg.faults);
+  net_->install_faults(faults_);
   // Flows are pre-derived from the (open-loop) arrival trace and activated
   // by per-NIC events, so a multi-shard run starts them without any
   // cross-shard calls.
-  for (const FlowArrival& a : generate_trace(topo, cfg.traffic)) {
-    net.prepare_flow(a.key, a.bytes, a.uid, a.incast, a.at);
+  for (const FlowArrival& a : generate_trace(topo_, cfg_.traffic)) {
+    net_->prepare_flow(a.key, a.bytes, a.uid, a.incast, a.at);
   }
+  seed_samplers(/*resume_after=*/-1);
+}
 
+void ExperimentRun::seed_samplers(Time resume_after) {
   // Shard-local buffer sampling: each switch's occupancy series is written
   // only by its owning shard; ticks are pre-seeded so no closure ever
-  // reschedules across shards. The series are reassembled below in the
-  // legacy (tick-major, switch-order) layout, which is also identical for
-  // every shard count.
-  const Time horizon = cfg.traffic.stop + cfg.drain;
-  const Time period =
-      cfg.buffer_sample_period < 1 ? 1 : cfg.buffer_sample_period;
-  const auto& sws = net.switches();
-  std::vector<std::vector<double>> series(sws.size());
-  for (int s = 0; s < sim.n_shards(); ++s) {
-    std::vector<std::size_t> mine;
+  // reschedules across shards. The series are reassembled in collect() in
+  // the legacy (tick-major, switch-order) layout, which is also identical
+  // for every shard count. Warm starts pass the checkpoint time: sampler
+  // closures are not serialized, so ticks strictly after it are re-posted
+  // here in the exact relative order of a cold run.
+  const Time b0 =
+      resume_after < 0 ? 0 : (resume_after / period_ + 1) * period_;
+  const auto& sws = net_->switches();
+  for (int s = 0; s < sim_->n_shards(); ++s) {
+    std::vector<std::pair<std::size_t, const Switch*>> mine;
     for (std::size_t i = 0; i < sws.size(); ++i) {
-      if (sim.shard_of(sws[i]->id()) == s) mine.push_back(i);
+      if (sim_->shard_of(sws[i]->id()) == s) mine.emplace_back(i, sws[i]);
     }
     if (mine.empty()) continue;
-    for (Time t = 0; t <= horizon; t += period) {
-      sim.shard(s).post_closure(t, [&series, &sws, mine] {
-        for (std::size_t i : mine) {
-          series[i].push_back(
-              static_cast<double>(sws[i]->buffer_used()) / 1e6);
+    auto* series = &series_;
+    for (Time t = b0; t <= horizon_; t += period_) {
+      sim_->shard(s).post_closure(t, [series, mine] {
+        for (const auto& [i, sw] : mine) {
+          (*series)[i].push_back(
+              static_cast<double>(sw->buffer_used()) / 1e6);
         }
       });
     }
   }
 
   // Goodput sampling, same shard-local pattern: each shard records the
-  // cumulative delivered payload of its own NICs per tick; the per-tick
-  // totals summed over shards below are shard-count independent.
-  std::vector<std::vector<std::int64_t>> gseries(
-      static_cast<std::size_t>(sim.n_shards()));
-  if (cfg.goodput_sample_period > 0) {
-    const auto& nics = net.nics();
-    for (int s = 0; s < sim.n_shards(); ++s) {
+  // cumulative delivered payload of its own NICs per tick; collect() sums
+  // the per-tick totals over shards, which is shard-count independent.
+  if (cfg_.goodput_sample_period > 0) {
+    const Time gp = cfg_.goodput_sample_period;
+    const Time g0 = resume_after < 0 ? 0 : (resume_after / gp + 1) * gp;
+    const auto& nics = net_->nics();
+    for (int s = 0; s < sim_->n_shards(); ++s) {
       std::vector<const Nic*> mine;
       for (const Nic* nic : nics) {
-        if (sim.shard_of(nic->id()) == s) mine.push_back(nic);
+        if (sim_->shard_of(nic->id()) == s) mine.push_back(nic);
       }
       if (mine.empty()) continue;
-      auto& out = gseries[static_cast<std::size_t>(s)];
-      for (Time t = 0; t <= horizon; t += cfg.goodput_sample_period) {
-        sim.shard(s).post_closure(t, [&out, mine] {
+      auto* out = &gseries_[static_cast<std::size_t>(s)];
+      for (Time t = g0; t <= horizon_; t += gp) {
+        sim_->shard(s).post_closure(t, [out, mine] {
           std::int64_t sum = 0;
           for (const Nic* nic : mine) sum += nic->stats().delivered_payload;
-          out.push_back(sum);
+          out->push_back(sum);
         });
       }
     }
   }
+}
 
+std::unique_ptr<ExperimentRun> ExperimentRun::restore(
+    const TopoGraph& topo, const ExperimentConfig& cfg,
+    const WarmCheckpoint& cp, std::string* error) {
+  std::unique_ptr<ExperimentRun> run(
+      new ExperimentRun(topo, cfg, /*warm=*/true));
+  if (!Snapshot::restore(*run->sim_, *run->net_, cp.image, error)) {
+    return nullptr;
+  }
+  run->cursor_ = cp.at;
+  if (cp.buffer_prefix.size() != run->series_.size()) {
+    if (error != nullptr) {
+      *error = "checkpoint buffer-series prefix does not match the "
+               "topology's switch count";
+    }
+    return nullptr;
+  }
+  run->series_ = cp.buffer_prefix;
+  run->goodput_prefix_ = cp.goodput_prefix;
+  run->seed_samplers(cp.at);
+  // The closure (environment) events that already ticked by cp.at were
+  // dropped from the image (not node-attributable); re-credit each
+  // restored shard with the count it would have executed, so the
+  // reported per-shard event totals stay bit-identical to an unbroken
+  // run at this shard count. A shard executed one buffer tick per period
+  // in [0, at] iff it owns at least one switch, and likewise one goodput
+  // tick iff it owns a NIC.
+  const std::uint64_t buffer_ticks =
+      static_cast<std::uint64_t>(cp.at / run->period_) + 1;
+  const std::uint64_t goodput_ticks =
+      cfg.goodput_sample_period > 0
+          ? static_cast<std::uint64_t>(cp.at / cfg.goodput_sample_period) + 1
+          : 0;
+  for (int s = 0; s < run->sim_->n_shards(); ++s) {
+    bool owns_switch = false;
+    for (const Switch* sw : run->net_->switches()) {
+      if (run->sim_->shard_of(sw->id()) == s) { owns_switch = true; break; }
+    }
+    bool owns_nic = false;
+    if (goodput_ticks > 0) {
+      for (const Nic* nic : run->net_->nics()) {
+        if (run->sim_->shard_of(nic->id()) == s) { owns_nic = true; break; }
+      }
+    }
+    const std::uint64_t credit = (owns_switch ? buffer_ticks : 0) +
+                                 (owns_nic ? goodput_ticks : 0);
+    if (credit > 0) run->sim_->credit_closure_events(s, credit);
+  }
+  return run;
+}
+
+void ExperimentRun::run_to(Time t) {
+  if (t <= cursor_) return;
   const auto wall0 = std::chrono::steady_clock::now();
-  sim.run_until(horizon);
-  const double wall_sec =
+  sim_->run_until(t);
+  wall_sec_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();
+  cursor_ = t;
+}
 
-  net.flow_stats().apply_tags();
+WarmCheckpoint ExperimentRun::checkpoint() {
+  WarmCheckpoint cp;
+  cp.at = cursor_;
+  cp.image = Snapshot::save(*sim_, *net_, cursor_);
+  cp.buffer_prefix = series_;
+  // Fold the per-shard goodput series into per-tick totals so the prefix
+  // is meaningful at any restore-side shard count.
+  if (cfg_.goodput_sample_period > 0) {
+    std::size_t g_ticks = ~std::size_t{0};
+    for (const auto& gs : gseries_) {
+      if (!gs.empty()) g_ticks = std::min(g_ticks, gs.size());
+    }
+    if (g_ticks == ~std::size_t{0}) g_ticks = 0;
+    cp.goodput_prefix = goodput_prefix_;
+    cp.goodput_prefix.resize(cp.goodput_prefix.size() + g_ticks, 0);
+    const std::size_t base = cp.goodput_prefix.size() - g_ticks;
+    for (const auto& gs : gseries_) {
+      if (gs.empty()) continue;
+      for (std::size_t t = 0; t < g_ticks; ++t) {
+        cp.goodput_prefix[base + t] += gs[t];
+      }
+    }
+    // Adopt the folded totals ourselves so this run stays collectable if
+    // it keeps going past the checkpoint (the live closures append to the
+    // now-emptied per-shard vectors, whose addresses are unchanged).
+    goodput_prefix_ = cp.goodput_prefix;
+    for (auto& gs : gseries_) gs.clear();
+  }
+  return cp;
+}
+
+ExperimentResult ExperimentRun::collect() {
+  run_to(horizon_);
+  net_->flow_stats().apply_tags();
+  ShardedSimulator& sim = *sim_;
+  Network& net = *net_;
   ExperimentResult r;
-  r.scheme = scheme_name(cfg.scheme);
+  r.scheme = scheme_name(cfg_.scheme);
   r.flows_started = net.flow_stats().started();
   r.flows_completed = net.flow_stats().completed();
   r.drops = net.switch_totals().drops;
-  std::size_t n_ticks = series.empty() ? 0 : series[0].size();
-  for (const auto& sseries : series) n_ticks = std::min(n_ticks, sseries.size());
-  r.buffer_samples_mb.reserve(n_ticks * series.size());
+  std::size_t n_ticks = series_.empty() ? 0 : series_[0].size();
+  for (const auto& sseries : series_) {
+    n_ticks = std::min(n_ticks, sseries.size());
+  }
+  r.buffer_samples_mb.reserve(n_ticks * series_.size());
   for (std::size_t t = 0; t < n_ticks; ++t) {
-    for (const auto& sseries : series) r.buffer_samples_mb.push_back(sseries[t]);
+    for (const auto& sseries : series_) {
+      r.buffer_samples_mb.push_back(sseries[t]);
+    }
   }
   r.buffer_p99_mb = percentile(r.buffer_samples_mb, 99);
-  const Network::PfcFractions pfc = net.pfc_fractions(horizon);
+  const Network::PfcFractions pfc = net.pfc_fractions(horizon_);
   r.pfc_frac_tor_to_spine = pfc.tor_to_spine;
   r.pfc_frac_spine_to_tor = pfc.spine_to_tor;
   r.collision_frac = net.collision_frac();
@@ -196,24 +313,30 @@ ExperimentResult run_experiment(const TopoGraph& topo,
   r.blackholed = net.switch_totals().blackholed + nt.blackholed;
   r.reroutes = nt.reroutes;
   r.unreachable_parks = nt.unreachable_parks;
-  if (cfg.goodput_sample_period > 0) {
+  if (cfg_.goodput_sample_period > 0) {
     std::size_t g_ticks = ~std::size_t{0};
-    for (const auto& gs : gseries) {
+    for (const auto& gs : gseries_) {
       if (!gs.empty()) g_ticks = std::min(g_ticks, gs.size());
     }
     if (g_ticks == ~std::size_t{0}) g_ticks = 0;
-    r.goodput_bytes.assign(g_ticks, 0);
-    for (const auto& gs : gseries) {
+    // Warm runs prepend the checkpoint-side totals recorded before the
+    // restore; cold runs have an empty prefix.
+    r.goodput_bytes = goodput_prefix_;
+    r.goodput_bytes.resize(r.goodput_bytes.size() + g_ticks, 0);
+    const std::size_t base = r.goodput_bytes.size() - g_ticks;
+    for (const auto& gs : gseries_) {
       if (gs.empty()) continue;
-      for (std::size_t t = 0; t < g_ticks; ++t) r.goodput_bytes[t] += gs[t];
+      for (std::size_t t = 0; t < g_ticks; ++t) {
+        r.goodput_bytes[base + t] += gs[t];
+      }
     }
   }
-  r.shards = shards;
+  r.shards = shards_;
   r.events_processed = sim.events_processed();
   for (int s = 0; s < sim.n_shards(); ++s) {
     r.shard_events.push_back(sim.shard(s).events_run());
   }
-  r.wall_sec = wall_sec;
+  r.wall_sec = wall_sec_;
   r.sync = sim.sync_name();
   r.events_stolen = sim.events_stolen();
   r.inbox_overflows = sim.inbox_overflows();
@@ -265,6 +388,13 @@ ExperimentResult run_experiment(const TopoGraph& topo,
     }
   }
   return r;
+}
+
+ExperimentResult run_experiment(const TopoGraph& topo,
+                                const ExperimentConfig& cfg) {
+  ExperimentRun run(topo, cfg);
+  run.run_to(run.horizon());
+  return run.collect();
 }
 
 }  // namespace bfc

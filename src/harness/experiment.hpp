@@ -1,8 +1,14 @@
 // The experiment harness: one call = one simulated run with the standard
 // measurement set (FCT slowdown by size bin, buffers, PFC, collisions).
+//
+// run_experiment is a thin wrapper over ExperimentRun, which additionally
+// supports pausing at a checkpoint (core/snapshot.hpp) and warm-starting
+// an identically-configured run from one — the machinery behind the
+// resident sweep server (harness/sweep_server.hpp).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -131,5 +137,82 @@ struct ExperimentResult {
 
 ExperimentResult run_experiment(const TopoGraph& topo,
                                 const ExperimentConfig& cfg);
+
+// Everything a warm start needs beyond the Snapshot image: the samplers
+// are harness-owned closures (deliberately not serialized), so the series
+// they recorded up to the checkpoint ride along as plain prefixes.
+struct WarmCheckpoint {
+  Time at = 0;
+  std::vector<std::uint8_t> image;
+  // Per-switch buffer-occupancy samples for ticks <= at (MB).
+  std::vector<std::vector<double>> buffer_prefix;
+  // Per-tick delivered-payload totals (already summed over shards, so the
+  // prefix is meaningful at any restore-side shard count).
+  std::vector<std::int64_t> goodput_prefix;
+};
+
+// One experiment as a resident object: construction does everything
+// run_experiment did before the clock started (build engine + network,
+// install faults, prepare the flow trace, pre-seed the samplers); run_to
+// advances simulated time; collect() assembles the standard result.
+//
+// checkpoint() pauses the run into a WarmCheckpoint; restore() builds a
+// new run that continues from one — bit-identical to a run that never
+// paused, at any shard count. The sweep server leans on this to serve a
+// batch of near-identical points from one warm prefix.
+class ExperimentRun {
+ public:
+  ExperimentRun(const TopoGraph& topo, const ExperimentConfig& cfg);
+  ExperimentRun(const ExperimentRun&) = delete;
+  ExperimentRun& operator=(const ExperimentRun&) = delete;
+
+  // Warm start: fresh engine/network at cfg.shards, state from cp. The
+  // config must describe the same experiment the checkpoint was taken
+  // from (snapshot fingerprint enforces it); only the shard count and
+  // sync mode may differ. Returns nullptr and sets *error on mismatch.
+  static std::unique_ptr<ExperimentRun> restore(const TopoGraph& topo,
+                                                const ExperimentConfig& cfg,
+                                                const WarmCheckpoint& cp,
+                                                std::string* error = nullptr);
+
+  Time horizon() const { return horizon_; }
+  Time now() const { return cursor_; }
+
+  // Advances the run to simulated time `t` (monotonic; engine wall time
+  // accumulates into the eventual result's wall_sec).
+  void run_to(Time t);
+
+  // Pauses the run at its current time into a restorable checkpoint.
+  WarmCheckpoint checkpoint();
+
+  // Finishes the run (run_to(horizon()) if short) and assembles the
+  // measurement set. Call once.
+  ExperimentResult collect();
+
+ private:
+  ExperimentRun(const TopoGraph& topo, const ExperimentConfig& cfg,
+                bool warm);
+  // Pre-seeds the buffer/goodput sampler closures for every tick strictly
+  // after `resume_after` (pass -1 to seed from t=0). The relative posting
+  // order (all buffer ticks, then all goodput ticks) is part of the
+  // determinism contract — it fixes the env-entity event order.
+  void seed_samplers(Time resume_after);
+
+  const TopoGraph& topo_;
+  ExperimentConfig cfg_;
+  FaultPlan faults_;  // resolved plan; outlives net_ (declared before it)
+  int shards_ = 1;
+  Time horizon_ = 0;
+  Time period_ = 1;
+  Time cursor_ = 0;
+  double wall_sec_ = 0;
+  std::unique_ptr<ShardedSimulator> sim_;
+  std::unique_ptr<Network> net_;
+  // Sampler sinks; sized at construction, never resized (closures keep
+  // pointers to the inner vectors).
+  std::vector<std::vector<double>> series_;              // per switch
+  std::vector<std::vector<std::int64_t>> gseries_;       // per shard
+  std::vector<std::int64_t> goodput_prefix_;             // warm runs only
+};
 
 }  // namespace bfc

@@ -53,6 +53,15 @@ class Rng {
     return -mean * std::log(u);
   }
 
+  // Checkpoint plumbing (core/snapshot.hpp): the raw xoshiro words, so a
+  // restored stream continues exactly where the saved one stopped.
+  void state(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void set_state(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) s_[i] = in[i];
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

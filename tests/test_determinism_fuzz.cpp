@@ -54,6 +54,10 @@ struct FuzzCase {
   int ring_cap = 0;  // 0 = default
   int flaps = 0;     // fault plane: random fabric link flaps (0 = none)
   std::uint64_t fault_seed = 0;
+  // Snapshot dimension: additionally pause the case mid-run at 1 shard,
+  // warm-start it at `shards` (core/snapshot.hpp), and hold the
+  // continuation to the same reference.
+  bool snap = false;
 };
 
 FuzzCase derive_case(int index) {
@@ -70,10 +74,13 @@ FuzzCase derive_case(int index) {
   c.coop = (mix64(s) & 1) != 0;  // ignored when stealing (steal => threads)
   const int caps[] = {0, 4, 64, 1024};
   c.ring_cap = caps[mix64(s) % 4];
-  // Fault dimension, appended last so pre-fault cases keep their exact
-  // historical derivation (replay indices stay meaningful).
+  // Fault dimension, appended after the original axes so pre-fault cases
+  // keep their exact historical derivation (replay indices stay
+  // meaningful)...
   c.flaps = static_cast<int>(mix64(s) % 3);  // 0, 1, or 2 flaps
   c.fault_seed = mix64(s);
+  // ...and the snapshot dimension appended last, same rule.
+  c.snap = (mix64(s) & 1) != 0;
   return c;
 }
 
@@ -99,8 +106,8 @@ const char* topo_name(int kind) {
   return kind == 1 ? "fat_tree" : kind == 2 ? "cross_dc" : "t3_small";
 }
 
-ExperimentResult run_case(const TopoGraph& topo, const FuzzCase& c,
-                          int shards) {
+ExperimentConfig case_config(const TopoGraph& topo, const FuzzCase& c,
+                             int shards) {
   ExperimentConfig cfg;
   cfg.scheme = c.scheme;
   cfg.sync = SyncMode::kChannel;
@@ -118,7 +125,22 @@ ExperimentResult run_case(const TopoGraph& topo, const FuzzCase& c,
                                          (c.stop * 3) / 4, c.stop / 8,
                                          c.fault_seed);
   }
-  return run_experiment(topo, cfg);
+  return cfg;
+}
+
+ExperimentResult run_case(const TopoGraph& topo, const FuzzCase& c,
+                          int shards) {
+  return run_experiment(topo, case_config(topo, c, shards));
+}
+
+// On a snapshot-leg mismatch the checkpoint image itself is the most
+// valuable artifact (tests can replay the restore offline); CI uploads
+// these alongside the flight dumps.
+void dump_snapshot(const char* path, const std::vector<std::uint8_t>& img) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return;
+  std::fwrite(img.data(), 1, img.size(), f);
+  std::fclose(f);
 }
 
 // Non-exiting precheck of the same stats check_identical asserts: the
@@ -159,11 +181,13 @@ void check_identical(const ExperimentResult& a, const ExperimentResult& b) {
 void run_one(int index) {
   const FuzzCase c = derive_case(index);
   std::printf("case %d: topo=%s scheme=%s seed=%llu load=%.2f incast=%.2f "
-              "stop=%lld shards=%d steal=%d coop=%d ring_cap=%d flaps=%d\n",
+              "stop=%lld shards=%d steal=%d coop=%d ring_cap=%d flaps=%d "
+              "snap=%d\n",
               index, topo_name(c.topo_kind), scheme_name(c.scheme),
               static_cast<unsigned long long>(c.seed), c.load, c.incast_load,
               static_cast<long long>(c.stop), c.shards,
-              c.steal ? 1 : 0, c.coop ? 1 : 0, c.ring_cap, c.flaps);
+              c.steal ? 1 : 0, c.coop ? 1 : 0, c.ring_cap, c.flaps,
+              c.snap ? 1 : 0);
   std::fflush(stdout);
 
   const TopoGraph topo = build_topo(c.topo_kind);
@@ -212,6 +236,41 @@ void run_one(int index) {
                  index, ref_path, got_path, index);
   }
   check_identical(ref, got);
+
+  if (c.snap) {
+    // Snapshot leg (scheduling env already reset to the reference's):
+    // pause the 1-shard run halfway through the traffic, warm-start at
+    // the case's shard count, and hold the continuation to the same
+    // reference bits.
+    ExperimentRun paused(topo, case_config(topo, c, 1));
+    paused.run_to(c.stop / 2);
+    const WarmCheckpoint cp = paused.checkpoint();
+    std::string err;
+    std::unique_ptr<ExperimentRun> thawed =
+        ExperimentRun::restore(topo, case_config(topo, c, c.shards), cp,
+                               &err);
+    if (thawed == nullptr) {
+      std::fprintf(stderr, "case %d: snapshot restore failed: %s\n", index,
+                   err.c_str());
+      CHECK(thawed != nullptr);
+    }
+    const ExperimentResult snap = thawed->collect();
+    if (!stats_equal(ref, snap)) {
+      char flight_path[64], snap_path[64];
+      std::snprintf(flight_path, sizeof flight_path,
+                    "fuzz_case%d_flight_snap.txt", index);
+      std::snprintf(snap_path, sizeof snap_path,
+                    "fuzz_case%d_snapshot.bin", index);
+      obs::dump_flight(flight_path, snap.flight);
+      dump_snapshot(snap_path, cp.image);
+      std::fprintf(stderr,
+                   "case %d: warm-started stats mismatch; flight dumped to "
+                   "%s, offending checkpoint image to %s (replay with "
+                   "BFC_FUZZ_CASE=%d)\n",
+                   index, flight_path, snap_path, index);
+    }
+    check_identical(ref, snap);
+  }
 }
 
 // The indexed cases draw their flap count randomly; this sweep always

@@ -1,0 +1,225 @@
+// The checkpoint/warm-start contract (core/snapshot.hpp), end to end:
+//
+//   * Exact continuation — pause a run mid-traffic, restore onto a fresh
+//     engine at 1/2/4 shards, finish: every reported stat (flow records,
+//     buffer series, event totals, per-shard event counts) is
+//     bit-identical to a run that never paused at that shard count.
+//   * Layout independence — save() at 1 shard and at 4 shards of the
+//     same simulated moment produce identical bytes, and a restored run
+//     re-saves to the identical image.
+//   * Mid-storm checkpoints — pausing inside a link-flap storm preserves
+//     the fault plane exactly (pending transition events ride the image).
+//   * Versioned rejection — corrupted magic/version headers and
+//     mismatched configurations are refused, never half-restored.
+#include "core/snapshot.hpp"
+
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/sweep_server.hpp"
+#include "test_util.hpp"
+
+using namespace bfc;
+
+namespace {
+
+ExperimentConfig base_config(int shards, bool storm, const TopoGraph& topo) {
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kBfc;
+  cfg.traffic.dist = &SizeDist::by_name("google");
+  cfg.traffic.load = 0.5;
+  cfg.traffic.incast_load = 0.05;
+  cfg.traffic.stop = microseconds(200);
+  cfg.traffic.seed = 42;
+  cfg.drain = microseconds(400);
+  cfg.shards = shards;
+  cfg.goodput_sample_period = microseconds(20);
+  if (storm) {
+    // Six flaps landing inside [40us, 160us] with a 30us hold: the
+    // checkpoint below (at 100us) sits mid-storm, so some transitions
+    // have fired (device counters nonzero) and some are still pending
+    // events that must ride the image.
+    cfg.faults = FaultPlan::random_flaps(topo, 6, microseconds(40),
+                                         microseconds(160),
+                                         microseconds(30), 7);
+  }
+  return cfg;
+}
+
+// Everything the harness reports that is a pure function of the
+// simulation (wall_sec / events_stolen and friends legitimately vary).
+void check_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  CHECK(a.flows_started == b.flows_started);
+  CHECK(a.flows_completed == b.flows_completed);
+  CHECK(a.drops == b.drops);
+  CHECK(a.bfc.pauses == b.bfc.pauses);
+  CHECK(a.bfc.resumes == b.bfc.resumes);
+  CHECK(a.bfc.overflow_packets == b.bfc.overflow_packets);
+  CHECK(a.collision_frac == b.collision_frac);
+  CHECK(a.buffer_samples_mb == b.buffer_samples_mb);
+  CHECK(a.goodput_bytes == b.goodput_bytes);
+  CHECK(a.p99_slowdown == b.p99_slowdown);
+  CHECK(a.bins.size() == b.bins.size());
+  for (std::size_t i = 0; i < a.bins.size(); ++i) {
+    CHECK(a.bins[i].slowdowns == b.bins[i].slowdowns);
+  }
+  CHECK(a.blackholed == b.blackholed);
+  CHECK(a.reroutes == b.reroutes);
+  CHECK(a.unreachable_parks == b.unreachable_parks);
+  CHECK(a.events_processed == b.events_processed);
+  CHECK(a.egress_ports_hw == b.egress_ports_hw);
+  CHECK(a.ingress_ports_hw == b.ingress_ports_hw);
+  CHECK(a.reclaim_sweeps == b.reclaim_sweeps);
+  CHECK(a.reclaimed_ports == b.reclaimed_ports);
+  CHECK(a.table_chunks == b.table_chunks);
+  CHECK(a.receiver_slots_hw == b.receiver_slots_hw);
+  CHECK(a.nic_class_transitions == b.nic_class_transitions);
+}
+
+void check_continuation(const TopoGraph& topo, bool storm) {
+  const Time pause_at = microseconds(100);
+
+  // Take the checkpoint from a 1-shard run paused mid-traffic.
+  ExperimentConfig warm_cfg = base_config(1, storm, topo);
+  ExperimentRun warm(topo, warm_cfg);
+  warm.run_to(pause_at);
+  WarmCheckpoint cp = warm.checkpoint();
+  CHECK(cp.at == pause_at);
+  CHECK(!cp.image.empty());
+  CHECK(Snapshot::saved_time(cp.image) == pause_at);
+
+  for (const int shards : {1, 2, 4}) {
+    const ExperimentConfig cfg = base_config(shards, storm, topo);
+    const ExperimentResult cold = run_experiment(topo, cfg);
+    CHECK(cold.flows_completed > 0);
+    if (storm) CHECK(cold.blackholed + cold.reroutes > 0);
+
+    std::string err;
+    std::unique_ptr<ExperimentRun> run =
+        ExperimentRun::restore(topo, cfg, cp, &err);
+    if (run == nullptr) {
+      std::fprintf(stderr, "restore(shards=%d) failed: %s\n", shards,
+                   err.c_str());
+      CHECK(run != nullptr);
+    }
+    const ExperimentResult thawed = run->collect();
+    CHECK(thawed.shards == shards);
+    check_identical(cold, thawed);
+    // Per-shard totals too: the node-attributed counts plus the harness's
+    // closure credit must rebuild exactly what an unbroken run reports.
+    CHECK(cold.shard_events == thawed.shard_events);
+  }
+}
+
+void check_layout_independence(const TopoGraph& topo) {
+  const Time pause_at = microseconds(100);
+  WarmCheckpoint cps[2];
+  const int counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    ExperimentRun run(topo, base_config(counts[i], /*storm=*/true, topo));
+    run.run_to(pause_at);
+    cps[i] = run.checkpoint();
+  }
+  // Same simulated moment, different save-side shard counts: the image is
+  // a pure function of the logical simulation, so the bytes match.
+  CHECK(cps[0].image == cps[1].image);
+  CHECK(cps[0].buffer_prefix == cps[1].buffer_prefix);
+  CHECK(cps[0].goodput_prefix == cps[1].goodput_prefix);
+
+  // And restoring (onto 2 shards) then re-saving reproduces the image.
+  const ExperimentConfig cfg = base_config(2, /*storm=*/true, topo);
+  std::string err;
+  std::unique_ptr<ExperimentRun> run =
+      ExperimentRun::restore(topo, cfg, cps[0], &err);
+  CHECK(run != nullptr);
+  const WarmCheckpoint again = run->checkpoint();
+  CHECK(again.at == pause_at);
+  CHECK(again.image == cps[0].image);
+}
+
+void check_rejection(const TopoGraph& topo) {
+  const Time pause_at = microseconds(100);
+  ExperimentRun run(topo, base_config(1, /*storm=*/false, topo));
+  run.run_to(pause_at);
+  WarmCheckpoint cp = run.checkpoint();
+
+  // Corrupt magic: not recognized as a snapshot at all.
+  {
+    WarmCheckpoint bad = cp;
+    bad.image[0] ^= 0xFF;
+    CHECK(Snapshot::saved_time(bad.image) == -1);
+    std::string err;
+    CHECK(ExperimentRun::restore(topo, base_config(2, false, topo), bad,
+                                 &err) == nullptr);
+    CHECK(!err.empty());
+  }
+  // Corrupt version (the u32 right after the 8-byte magic).
+  {
+    WarmCheckpoint bad = cp;
+    bad.image[8] ^= 0xFF;
+    CHECK(Snapshot::saved_time(bad.image) == -1);
+    std::string err;
+    CHECK(ExperimentRun::restore(topo, base_config(2, false, topo), bad,
+                                 &err) == nullptr);
+    CHECK(err.find("version") != std::string::npos);
+  }
+  // Truncated image: bounds-checked parse, clean failure.
+  {
+    WarmCheckpoint bad = cp;
+    bad.image.resize(bad.image.size() / 2);
+    std::string err;
+    CHECK(ExperimentRun::restore(topo, base_config(2, false, topo), bad,
+                                 &err) == nullptr);
+  }
+  // Configuration fingerprint: a different scheme must be refused.
+  {
+    ExperimentConfig other = base_config(2, /*storm=*/false, topo);
+    other.scheme = Scheme::kDcqcnWin;
+    std::string err;
+    CHECK(ExperimentRun::restore(topo, other, cp, &err) == nullptr);
+    CHECK(err.find("fingerprint") != std::string::npos);
+  }
+}
+
+void check_sweep_server(const TopoGraph& topo) {
+  // run_shard_sweep serves 1/2/4-shard rows from one warm prefix; each
+  // row must match its cold twin.
+  const ExperimentConfig base = base_config(0, /*storm=*/true, topo);
+  const std::vector<ExperimentResult> rows =
+      SweepServer::run_shard_sweep(topo, base, {1, 2, 4},
+                                   microseconds(100));
+  CHECK(rows.size() == 3);
+  const int counts[3] = {1, 2, 4};
+  for (int i = 0; i < 3; ++i) {
+    ExperimentConfig cfg = base;
+    cfg.shards = counts[i];
+    const ExperimentResult cold = run_experiment(topo, cfg);
+    CHECK(rows[static_cast<std::size_t>(i)].shards == counts[i]);
+    check_identical(cold, rows[static_cast<std::size_t>(i)]);
+    CHECK(cold.shard_events ==
+          rows[static_cast<std::size_t>(i)].shard_events);
+  }
+
+  // run_batch: positional results, identical to serial cold runs.
+  std::vector<ExperimentConfig> cfgs;
+  cfgs.push_back(base_config(1, /*storm=*/false, topo));
+  cfgs.push_back(base_config(1, /*storm=*/true, topo));
+  const std::vector<ExperimentResult> batch =
+      SweepServer::run_batch(topo, cfgs);
+  CHECK(batch.size() == 2);
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    check_identical(run_experiment(topo, cfgs[i]), batch[i]);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const TopoGraph topo = TopoGraph::three_tier(ThreeTierConfig::t3_small());
+  check_continuation(topo, /*storm=*/false);
+  check_continuation(topo, /*storm=*/true);
+  check_layout_independence(topo);
+  check_rejection(topo);
+  check_sweep_server(topo);
+  return 0;
+}

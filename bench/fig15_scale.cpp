@@ -226,10 +226,10 @@ void write_json(const std::vector<ScaleRow>& rows) {
 }  // namespace
 
 // BFC_FIG15_TOPOS selects which fabrics to sweep (comma-separated names);
-// the default runs every default-on fabric. The 16384-host preset is
-// opt-in (`default_on=false`): its sweep is sized for the Release perf
-// job and would blow the sanitizer legs' budget, so it only runs when the
-// env var names it explicitly.
+// the default runs every default-on fabric. The 16384- and 65536-host
+// presets are opt-in (`default_on=false`): their sweeps are sized for the
+// Release perf job and would blow the sanitizer legs' budget, so they
+// only run when the env var names them explicitly.
 bool topo_selected(const char* name, bool default_on = true) {
   const char* env = std::getenv("BFC_FIG15_TOPOS");
   if (env == nullptr || *env == '\0') return default_on;
@@ -292,6 +292,7 @@ int main() {
   const Time t3_stop = static_cast<Time>(microseconds(300) * bench_scale());
   const Time t3x_stop = static_cast<Time>(microseconds(120) * bench_scale());
   const Time t3xx_stop = static_cast<Time>(microseconds(60) * bench_scale());
+  const Time t3m_stop = static_cast<Time>(microseconds(30) * bench_scale());
   std::vector<ScaleRow> rows;
   // Small fabrics sweep to 8 shards; the 4096/16384-host presets add a
   // 16-shard point (their partitions have the pods to feed it).
@@ -312,6 +313,14 @@ int main() {
   if (topo_selected("t3_16384", /*default_on=*/false)) {
     sweep("t3_16384", TopoGraph::three_tier(ThreeTierConfig::t3_16384()),
           t3xx_stop, big_counts, rows);
+  }
+  // The 65536-host preset — opened by the PR 7 memory diet (streaming
+  // traffic, lazy sender slabs, packed route ids) — is likewise opt-in,
+  // and also needs a machine with ~6 GB free (the CI smoke probes
+  // MemAvailable before naming it).
+  if (topo_selected("t3_65536", /*default_on=*/false)) {
+    sweep("t3_65536", TopoGraph::three_tier(ThreeTierConfig::t3_65536()),
+          t3m_stop, shard_list_override({1, 2, 4}), rows);
   }
   write_json(rows);
   // Determinism is a hard property, not a column: a sweep whose shard

@@ -22,20 +22,20 @@ void FlowIndex::place(Flow* f, SendState s, Time now) {
     case SendState::kEligible:
       if (!(f->index_slots & kInEligible)) {
         f->index_slots |= kInEligible;
-        eligible_.push_back(f);
+        fifo_push(f);
       }
       break;
     case SendState::kPacingBlocked:
       if (!(f->index_slots & kInPacing)) {
         f->index_slots |= kInPacing;
-        pacing_.push_back(f);
+        slab().pacing.push_back(f);
       }
       if (f->next_send < next_gate_) next_gate_ = f->next_send;
       break;
     case SendState::kPauseBlocked:
       if (!(f->index_slots & kInPaused)) {
         f->index_slots |= kInPaused;
-        paused_.push_back(f);
+        slab().paused.push_back(f);
       }
       break;
     case SendState::kWindowBlocked:
@@ -61,9 +61,8 @@ void FlowIndex::update(Flow* f, Time now) {
 }
 
 Flow* FlowIndex::pop_eligible() {
-  while (!eligible_.empty()) {
-    Flow* f = eligible_.front();
-    eligible_.pop_front();
+  while (elig_head_ != nullptr) {
+    Flow* f = fifo_pop();
     f->index_slots &= static_cast<std::uint8_t>(~kInEligible);
     if (f->send_state == SendState::kEligible) {
       // Handed to the sender; update() after the send re-files it.
@@ -76,10 +75,15 @@ Flow* FlowIndex::pop_eligible() {
 }
 
 void FlowIndex::on_wake(Time now) {
+  if (slab_ == nullptr) {
+    next_gate_ = kNoGate;
+    return;
+  }
+  auto& pacing = slab_->pacing;
   std::size_t keep = 0;
   Time gate = kNoGate;
-  for (std::size_t i = 0; i < pacing_.size(); ++i) {
-    Flow* f = pacing_[i];
+  for (std::size_t i = 0; i < pacing.size(); ++i) {
+    Flow* f = pacing[i];
     if (f->send_state != SendState::kPacingBlocked) {
       f->index_slots &= static_cast<std::uint8_t>(~kInPacing);
       continue;  // stale
@@ -90,10 +94,11 @@ void FlowIndex::on_wake(Time now) {
       continue;
     }
     if (f->next_send < gate) gate = f->next_send;
-    pacing_[keep++] = f;
+    pacing[keep++] = f;
   }
-  pacing_.resize(keep);
+  pacing.resize(keep);
   next_gate_ = gate;
+  quiesce();
 }
 
 void FlowIndex::on_snapshot(std::shared_ptr<const BloomBits> bits,
@@ -101,18 +106,22 @@ void FlowIndex::on_snapshot(std::shared_ptr<const BloomBits> bits,
   bits_ = std::move(bits);
   // Fixed re-sort order (eligible, pacing, paused) keeps the resulting
   // ready-FIFO order a deterministic function of the event history.
-  const std::size_t n_eligible = eligible_.size();
+  const std::size_t n_eligible = elig_count_;
   for (std::size_t i = 0; i < n_eligible; ++i) {
-    Flow* f = eligible_.front();
-    eligible_.pop_front();
+    Flow* f = fifo_pop();
     f->index_slots &= static_cast<std::uint8_t>(~kInEligible);
     if (f->send_state != SendState::kEligible) continue;  // stale
     place(f, classify(f, now), now);
   }
+  if (slab_ == nullptr) {
+    next_gate_ = kNoGate;
+    return;
+  }
+  auto& pacing = slab_->pacing;
   std::size_t keep = 0;
   Time gate = kNoGate;
-  for (std::size_t i = 0; i < pacing_.size(); ++i) {
-    Flow* f = pacing_[i];
+  for (std::size_t i = 0; i < pacing.size(); ++i) {
+    Flow* f = pacing[i];
     if (f->send_state != SendState::kPacingBlocked) {
       f->index_slots &= static_cast<std::uint8_t>(~kInPacing);
       continue;
@@ -124,13 +133,14 @@ void FlowIndex::on_snapshot(std::shared_ptr<const BloomBits> bits,
       continue;
     }
     if (f->next_send < gate) gate = f->next_send;
-    pacing_[keep++] = f;
+    pacing[keep++] = f;
   }
-  pacing_.resize(keep);
+  pacing.resize(keep);
   next_gate_ = gate;
+  auto& paused = slab_->paused;
   std::size_t pkeep = 0;
-  for (std::size_t i = 0; i < paused_.size(); ++i) {
-    Flow* f = paused_[i];
+  for (std::size_t i = 0; i < paused.size(); ++i) {
+    Flow* f = paused[i];
     if (f->send_state != SendState::kPauseBlocked) {
       f->index_slots &= static_cast<std::uint8_t>(~kInPaused);
       continue;
@@ -141,15 +151,16 @@ void FlowIndex::on_snapshot(std::shared_ptr<const BloomBits> bits,
       place(f, s, now);
       continue;
     }
-    paused_[pkeep++] = f;
+    paused[pkeep++] = f;
   }
-  paused_.resize(pkeep);
+  paused.resize(pkeep);
+  quiesce();
 }
 
 Flow* FlowIndex::reference_scan(Time now) const {
   // Purely from-scratch: stale entries re-derive to a non-eligible class
   // and fall through, so no cached state is consulted.
-  for (Flow* f : eligible_) {
+  for (Flow* f = elig_head_; f != nullptr; f = f->elig_next) {
     if (classify(f, now) == SendState::kEligible) return f;
   }
   return nullptr;

@@ -27,16 +27,23 @@
 // Round-robin semantics: the ready FIFO *is* the service order — a flow
 // re-enters at the tail after sending, which is classic round-robin while
 // everyone stays eligible; a flow re-entering from a blocked class joins
-// at the tail. Containers hold bare pointers and may keep stale entries
-// after a flow changes class; stale entries are detected by comparing the
-// cached class against the owning container and dropped lazily on the
-// next pop/sweep, which keeps every transition O(1). test_flow_index
-// differentially checks the cached classes and the pop order against a
-// from-scratch reference scan (the PR-3 style full re-derivation).
+// at the tail. Containers may keep stale entries after a flow changes
+// class; stale entries are detected by comparing the cached class against
+// the owning container and dropped lazily on the next pop/sweep, which
+// keeps every transition O(1). test_flow_index differentially checks the
+// cached classes and the pop order against a from-scratch reference scan
+// (the PR-3 style full re-derivation).
+//
+// Memory model (the tiers above t3_16384 are what forced it): the ready
+// FIFO is intrusive — threaded through Flow::elig_next — so an idle NIC
+// owns no FIFO heap, and the pacing/paused vectors live in a SenderSlab
+// materialized on the first blocked entry and reclaimed once both lists
+// drain (quiesce(); same lazy-slab idiom as ReceiverSlab and the switch
+// port slabs). A fabric-scale topology where most hosts never send pays
+// for none of it.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -99,9 +106,29 @@ class FlowIndex {
   // the cached classes are consistent (test_flow_index drives both).
   Flow* reference_scan(Time now) const;
 
-  const std::deque<Flow*>& eligible_queue() const { return eligible_; }
-  std::size_t pacing_size() const { return pacing_.size(); }
-  std::size_t paused_size() const { return paused_.size(); }
+  std::size_t eligible_size() const { return elig_count_; }
+  std::size_t pacing_size() const {
+    return slab_ == nullptr ? 0 : slab_->pacing.size();
+  }
+  std::size_t paused_size() const {
+    return slab_ == nullptr ? 0 : slab_->paused.size();
+  }
+  // Lazy-state introspection (test_three_tier's idle-allocates-nothing
+  // assertion): whether the blocked-list slab is currently materialized.
+  bool slab_live() const { return slab_ != nullptr; }
+  // Frees the slab once both blocked lists have drained (their emptiness
+  // implies next_gate_ == kNoGate: only the sweeps empty them, and the
+  // sweeps recompute the gate). Pure memory management — never drops a
+  // stale entry early, because the kIn* bits double as dedup state and
+  // clearing them off-schedule would reorder a re-entering flow.
+  void quiesce() {
+    if (slab_ != nullptr && slab_->pacing.empty() && slab_->paused.empty()) {
+      slab_.reset();
+    }
+  }
+  // True when the index holds no heap and no queued flow at all — the
+  // NIC-idle condition its owner checks before releasing its own scratch.
+  bool quiescent() const { return elig_count_ == 0 && slab_ == nullptr; }
   // Sendability-class changes filed through place() (ack/RTO/send
   // re-derivations, snapshot and pacing re-sorts). A pure function of
   // the event history — deterministic at any shard count. Telemetry.
@@ -116,9 +143,40 @@ class FlowIndex {
   }
   void place(Flow* f, SendState s, Time now);
 
-  std::deque<Flow*> eligible_;   // ready FIFO (service order)
-  std::vector<Flow*> pacing_;    // swept by on_wake
-  std::vector<Flow*> paused_;    // swept by on_snapshot
+  // Intrusive ready-FIFO plumbing. Callers own the kInEligible bit.
+  void fifo_push(Flow* f) {
+    f->elig_next = nullptr;
+    if (elig_tail_ == nullptr) {
+      elig_head_ = f;
+    } else {
+      elig_tail_->elig_next = f;
+    }
+    elig_tail_ = f;
+    ++elig_count_;
+  }
+  Flow* fifo_pop() {
+    Flow* f = elig_head_;
+    elig_head_ = f->elig_next;
+    if (elig_head_ == nullptr) elig_tail_ = nullptr;
+    f->elig_next = nullptr;
+    --elig_count_;
+    return f;
+  }
+
+  // Blocked-list slab, see the memory-model note above.
+  struct SenderSlab {
+    std::vector<Flow*> pacing;  // swept by on_wake
+    std::vector<Flow*> paused;  // swept by on_snapshot
+  };
+  SenderSlab& slab() {
+    if (slab_ == nullptr) slab_ = std::make_unique<SenderSlab>();
+    return *slab_;
+  }
+
+  Flow* elig_head_ = nullptr;  // ready FIFO (service order), intrusive
+  Flow* elig_tail_ = nullptr;
+  std::size_t elig_count_ = 0;
+  std::unique_ptr<SenderSlab> slab_;
   std::shared_ptr<const BloomBits> bits_;
   Time next_gate_ = kNoGate;
   std::uint64_t transitions_ = 0;  // class changes filed through place()

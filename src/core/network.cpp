@@ -44,6 +44,8 @@ Network::Network(ShardedSimulator& sim, const TopoGraph& topo, Scheme scheme,
       topo_(topo),
       params_(NetParams::derive(scheme, ov)),
       overrides_(ov) {
+  flows_.resize(static_cast<std::size_t>(sim_.n_shards()));
+  starts_.resize(static_cast<std::size_t>(sim_.n_shards()));
   fault_rng_.reserve(static_cast<std::size_t>(topo_.num_nodes()));
   mark_rng_.reserve(static_cast<std::size_t>(topo_.num_nodes()));
   for (int node = 0; node < topo_.num_nodes(); ++node) {
@@ -99,16 +101,22 @@ Flow* Network::make_flow(const FlowKey& key, std::uint64_t bytes,
   // No route, no RTT, no CC state here: everything derived from the path
   // resolves on demand (resolve_flow / resolve_reverse_route), so a
   // prepared trace is identity bytes only.
-  flows_.emplace(uid, std::move(owned));
+  flows_[static_cast<std::size_t>(
+             sim_.shard_of(static_cast<int>(key.src)))]
+      .emplace(uid, std::move(owned));
   return f;
 }
 
 void Network::resolve_flow(Flow* f) {
-  if (!f->path.empty()) return;
-  topo_.route_into(f->key, f->path);
-  f->ack_lat = path_one_way(f->path, topo_, kAckWireBytes);
-  f->base_rtt = path_one_way(f->path, topo_, kMtuWireBytes) + f->ack_lat;
-  const double line = path_min_rate_bps(f->path, topo_);
+  if (f->path_id != TopoGraph::kNoPath) return;
+  // The derived latency/CC fields need the hops once; only the packed id
+  // is retained.
+  HopVec hv;
+  topo_.route_into(f->key, hv);
+  f->path_id = topo_.compress_path(f->key, hv);
+  f->ack_lat = path_one_way(hv, topo_, kAckWireBytes);
+  f->base_rtt = path_one_way(hv, topo_, kMtuWireBytes) + f->ack_lat;
+  const double line = path_min_rate_bps(hv, topo_);
   const double bdp_pkts = std::max(
       2.0, line * to_sec(f->base_rtt) / (8.0 * kMtuWireBytes));
   cc_init(params_, *f, line, bdp_pkts);
@@ -129,23 +137,27 @@ void Network::resolve_reverse_route(Flow* f) {
                      f->key.src_port};
   if (faults_ != nullptr) {
     // Same lazy epoch contract as the forward path, on the destination
-    // NIC's shard (the only writer of rpath/rvfid).
+    // NIC's shard (the only writer of rpath_id/rvfid).
     const Time now =
         sim_.shard_of_node(static_cast<int>(f->key.dst)).now();
     const auto epoch = static_cast<std::int32_t>(faults_->epoch_at(now));
-    if (f->rroute_epoch == epoch && !f->rpath.empty()) return;
-    if (!topo_.route_into(rkey, f->rpath, *faults_, now)) {
+    if (f->rroute_epoch == epoch && f->rpath_id != TopoGraph::kNoPath) {
+      return;
+    }
+    HopVec hv;
+    if (!topo_.route_into(rkey, hv, *faults_, now)) {
       // No live reverse path: keep the structural route — those acks
       // blackhole at the dead hop and the sender's RTO recovers, the
       // same way real gear loses acks on a cut link.
-      topo_.route_into(rkey, f->rpath);
+      topo_.route_into(rkey, hv);
     }
+    f->rpath_id = topo_.compress_path(rkey, hv);
     f->rvfid = vfid_of(rkey, static_cast<std::uint32_t>(params_.n_vfids));
     f->rroute_epoch = epoch;
     return;
   }
-  if (!f->rpath.empty()) return;
-  topo_.route_into(rkey, f->rpath);
+  if (f->rpath_id != TopoGraph::kNoPath) return;
+  f->rpath_id = topo_.path_id(rkey);
   f->rvfid = vfid_of(rkey, static_cast<std::uint32_t>(params_.n_vfids));
 }
 
@@ -171,7 +183,7 @@ void Network::install_faults(const FaultPlan& plan) {
       }
       if (port < 0) continue;  // plan names a non-link; nothing to flip
       Shard& s = sim_.shard_of_node(node);
-      Event* e = s.make(node, tr.at);
+      Event* e = s.make_setup(node, tr.at);
       e->fn = &Network::ev_link_state;
       e->obj = devices_[static_cast<std::size_t>(node)];
       e->u.misc = {nullptr, port, tr.up ? 1 : 0};
@@ -202,13 +214,16 @@ Network::RouteCheck Network::check_route(Flow* f, Time now) {
   f->route_epoch = epoch;
   f->backoff_exp = 0;
   f->parked_since = -1;
-  if (fresh == f->path) return RouteCheck::kUnchanged;
-  f->path = fresh;
+  // (key, path id) -> hops is a bijection, so an id compare is a hop
+  // compare without expanding the cached route.
+  const std::uint32_t fresh_id = topo_.compress_path(f->key, fresh);
+  if (fresh_id == f->path_id) return RouteCheck::kUnchanged;
+  f->path_id = fresh_id;
   // Pure path-derived latencies follow the detour; CC and RTO state
   // deliberately survive a reroute (resetting the window mid-flow would
   // punish the flow twice for one fault).
-  f->ack_lat = path_one_way(f->path, topo_, kAckWireBytes);
-  f->base_rtt = path_one_way(f->path, topo_, kMtuWireBytes) + f->ack_lat;
+  f->ack_lat = path_one_way(fresh, topo_, kAckWireBytes);
+  f->base_rtt = path_one_way(fresh, topo_, kMtuWireBytes) + f->ack_lat;
   return RouteCheck::kRerouted;
 }
 
@@ -226,7 +241,24 @@ void Network::prepare_flow(const FlowKey& key, std::uint64_t bytes,
   Flow* f = make_flow(key, bytes, uid, incast);
   stats_.on_flow_started(uid, key, f->bytes, at, incast);
   Shard& s = sim_.shard_of_node(static_cast<int>(key.src));
-  Event* e = s.make(static_cast<int>(key.src), at);
+  Event* e = s.make_setup(static_cast<int>(key.src), at);
+  e->fn = &Nic::ev_flow_start;
+  e->obj = devices_[key.src];
+  e->u.misc = {f, 0, 0};
+  s.post_local(e);
+}
+
+void Network::stream_flow(const FlowKey& key, std::uint64_t bytes,
+                          std::uint64_t uid, bool incast, Time at) {
+  Flow* f = make_flow(key, bytes, uid, incast);
+  const int shard = sim_.shard_of(static_cast<int>(key.src));
+  starts_[static_cast<std::size_t>(shard)].push_back(
+      {uid, key, f->bytes, at, incast});
+  // Identical event identity to the eager path: same setup sequence
+  // space, same entity, same timestamp — so the run's (at, key) order is
+  // bit-for-bit the order a pre-seeded trace would have produced.
+  Shard& s = sim_.shard(shard);
+  Event* e = s.make_setup(static_cast<int>(key.src), at);
   e->fn = &Nic::ev_flow_start;
   e->obj = devices_[key.src];
   e->u.misc = {f, 0, 0};
@@ -243,7 +275,14 @@ void Network::on_flow_complete(Flow* f, Time now) {
 FlowStats& Network::flow_stats() {
   // Fold order (shard id, then per-shard completion order) only affects
   // the order of map updates, never the records themselves, so the result
-  // is identical for every shard count.
+  // is identical for every shard count. Streamed starts fold first so
+  // every completion finds its record.
+  for (auto& log : starts_) {
+    for (const StartRec& rec : log) {
+      stats_.on_flow_started(rec.uid, rec.key, rec.bytes, rec.at, rec.incast);
+    }
+    log.clear();
+  }
   for (int s = 0; s < sim_.n_shards(); ++s) {
     auto& log = sim_.shard(s).completions();
     for (const auto& [uid, end] : log) {

@@ -50,6 +50,14 @@ class Network {
   void prepare_flow(const FlowKey& key, std::uint64_t bytes,
                     std::uint64_t uid, bool incast, Time at);
 
+  // Streaming start: same effect as prepare_flow — identical flow-start
+  // event key (setup sequence space), identical stats record — but legal
+  // mid-run from a shard-pinned pump closure running on the *owning*
+  // (key.src) shard. All state it touches is per-shard: the shard's flow
+  // map slice and its start log (folded by flow_stats()).
+  void stream_flow(const FlowKey& key, std::uint64_t bytes,
+                   std::uint64_t uid, bool incast, Time at);
+
   // On-demand resolution, idempotent. resolve_flow fills the forward hop
   // cache and the derived unloaded-RTT / congestion-control / RTO state;
   // the source NIC calls it at activation (first send), on its own
@@ -114,9 +122,22 @@ class Network {
   const TopoGraph& topo() const { return topo_; }
   const NetParams& params() const { return params_; }
   Device* device(int node) { return devices_[static_cast<std::size_t>(node)]; }
+  // Hot path (Nic::on_ack): flows live in per-shard map slices keyed by
+  // the *source* host's owning shard, so the runtime lookup — always made
+  // on that shard — touches only shard-local state and streamed inserts
+  // never race a concurrent reader.
+  Flow* flow(int shard_idx, std::uint64_t uid) {
+    auto& m = flows_[static_cast<std::size_t>(shard_idx)];
+    auto it = m.find(uid);
+    return it == m.end() ? nullptr : it->second.get();
+  }
+  // Offline path (snapshot restore, harness, tests): scans every slice.
   Flow* flow(std::uint64_t uid) {
-    auto it = flows_.find(uid);
-    return it == flows_.end() ? nullptr : it->second.get();
+    for (auto& m : flows_) {
+      auto it = m.find(uid);
+      if (it != m.end()) return it->second.get();
+    }
+    return nullptr;
   }
   // Fault/marking draws are per-node so their consumption order is a
   // deterministic function of that node's event sequence, not of the
@@ -159,8 +180,20 @@ class Network {
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<Nic*> nic_list_;
   std::vector<Switch*> switch_list_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Flow>> flows_;
+  // Flow ownership, sliced by the source host's shard (see flow()).
+  std::vector<std::unordered_map<std::uint64_t, std::unique_ptr<Flow>>> flows_;
   FlowStats stats_;
+  // Per-shard start logs for streamed flows (stats_ itself is not safe to
+  // touch mid-run from concurrent shards); folded by flow_stats() ahead
+  // of the completion fold so every completion finds its record.
+  struct StartRec {
+    std::uint64_t uid = 0;
+    FlowKey key;
+    std::uint64_t bytes = 0;
+    Time at = 0;
+    bool incast = false;
+  };
+  std::vector<std::vector<StartRec>> starts_;
   const FaultPlan* faults_ = nullptr;  // immutable schedule, not owned
   std::vector<Rng> fault_rng_;  // per node
   std::vector<Rng> mark_rng_;   // per node

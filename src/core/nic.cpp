@@ -49,7 +49,17 @@ void Nic::kick() {
   for (;;) {
     Flow* f = index_.pop_eligible();
     if (f == nullptr) {
-      // Nothing ready: wake when the earliest pacing gate opens.
+      // Nothing ready: wake when the earliest pacing gate opens. If the
+      // index drained completely, give its blocked-list slab back — and
+      // once nothing at all is queued here, the ack queue's grown capacity
+      // too (fabric-scale tiers idle most NICs most of the time; holding
+      // per-NIC scratch across those gaps is what the RSS gate measures).
+      index_.quiesce();
+      // The >16 floor keeps steady acks_in_data traffic from paying a
+      // malloc per ack; only burst-grown capacity is returned.
+      if (index_.quiescent() && ack_q_.empty() && ack_q_.capacity() > 16) {
+        std::vector<Packet>().swap(ack_q_);
+      }
       arm_wake(shard_->now());
       return;
     }
@@ -136,7 +146,11 @@ void Nic::send_packet(Flow* f, std::uint32_t seq, bool retx) {
   pkt.single = f->total_pkts == 1;
   pkt.prio = f->remaining_bytes();
   pkt.ts = now;
-  pkt.stamp_route(f->path);
+  // Expand the packed route id into the per-packet port snapshot. A
+  // stack HopVec keeps the flow's footprint at 4 bytes per direction.
+  HopVec hops;
+  net_.topo().expand_path(f->key, f->path_id, hops);
+  pkt.stamp_route(hops);
   pkt.ack_lat = f->ack_lat;
   if (retx || seq < f->max_sent) ++stats_.data_retx;
   f->max_sent = std::max(f->max_sent, seq + 1);
@@ -263,7 +277,11 @@ void Nic::send_ack(Flow* f, const AckInfo& ack, Time ack_lat) {
   apk.ts = ack.ts;
   apk.wire = kAckWireBytes;
   apk.hop = 1;  // next transmitter: this host's ToR, on the reverse path
-  apk.stamp_route(f->rpath);
+  const FlowKey rkey{f->key.dst, f->key.src, f->key.dst_port,
+                     f->key.src_port};
+  HopVec rhops;
+  net_.topo().expand_path(rkey, f->rpath_id, rhops);
+  apk.stamp_route(rhops);
   ack_q_.push_back(apk);
   kick();
   // Deferred = this ack did not go out with that kick. kick() only ever
@@ -304,7 +322,7 @@ void Nic::ev_ack(Event& e) {
 }
 
 void Nic::on_ack(const AckInfo& ack) {
-  Flow* f = net_.flow(ack.uid);
+  Flow* f = net_.flow(shard_->index(), ack.uid);
   if (f == nullptr || f->sender_done) return;
   const Time now = shard_->now();
   const NetParams& p = net_.params();

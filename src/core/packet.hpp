@@ -87,18 +87,22 @@ struct Flow {
   std::uint32_t vfid = 0;
 
   // Route cache, resolved on demand — a prepared-but-never-activated
-  // flow owns no route. `path` (plus the derived RTT/CC/RTO fields
-  // below) is filled by Network::resolve_flow on the *source* NIC's
-  // shard at activation and re-resolved there by Network::check_route
-  // when a fault moves the plan's epoch; `rpath` and `rvfid` by
+  // flow owns no route. Fat-tree routes are fully determined by the flow
+  // key plus at most two ECMP picks, so the cache is a packed 32-bit
+  // TopoGraph path id rather than an 8-hop vector; the posting NIC
+  // expands it against the graph at packet-stamp time. `path_id` (plus
+  // the derived RTT/CC/RTO fields below) is filled by
+  // Network::resolve_flow on the *source* NIC's shard at activation and
+  // re-resolved there by Network::check_route when a fault moves the
+  // plan's epoch; `rpath_id` and `rvfid` by
   // Network::resolve_reverse_route on the *destination* NIC's shard
   // (acks_in_data only), under the same epoch contract. Because the
   // fault plane rewrites these mid-flow, they are strictly single-shard
   // state: no other shard may read them. Downstream switches consume the
   // per-packet `Packet::route`/`ack_lat` snapshot instead, stamped on
   // the owning shard when the packet is posted.
-  HopVec path;                   // one entry per transmitting device
-  HopVec rpath;                  // reverse path (acks_in_data only)
+  std::uint32_t path_id = 0xFFFFFFFFu;   // TopoGraph::kNoPath = unresolved
+  std::uint32_t rpath_id = 0xFFFFFFFFu;  // reverse path (acks_in_data only)
   std::uint32_t rvfid = 0;       // VFID of the reverse direction
   Time base_rtt = 0;             // unloaded round trip
   Time ack_lat = 0;              // receiver -> sender control latency
@@ -133,6 +137,12 @@ struct Flow {
   // this flow (entries outlive transitions and are dropped lazily).
   SendState send_state = SendState::kUntracked;
   std::uint8_t index_slots = 0;  // FlowIndex::kIn* bits
+  // Intrusive link for the FlowIndex ready FIFO. kInEligible guarantees
+  // at-most-once membership, so a single forward link suffices and an
+  // idle NIC's FIFO costs no heap at all (PR 6 measured the old per-NIC
+  // deque chunk at ~0.5 KB x hosts). Meaningful only while kInEligible
+  // is set; not serialized (the snapshot stores the FIFO as a uid list).
+  Flow* elig_next = nullptr;
 
   // Congestion-control scratch (interpreted per scheme, see core/cc.hpp).
   double cc_target = 0;

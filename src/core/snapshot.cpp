@@ -247,28 +247,6 @@ struct Snapshot::Impl {
     return k;
   }
 
-  static void save_hops(Writer& w, const HopVec& h) {
-    w.u8(static_cast<std::uint8_t>(h.size()));
-    for (const Hop& hop : h) {
-      w.i32(hop.node);
-      w.i32(hop.port);
-    }
-  }
-  static void load_hops(Reader& r, HopVec* h) {
-    h->clear();
-    const std::uint8_t n = r.u8();
-    if (n > HopVec::kMaxHops) {
-      r.fail();
-      return;
-    }
-    for (std::uint8_t i = 0; i < n; ++i) {
-      Hop hop;
-      hop.node = r.i32();
-      hop.port = r.i32();
-      h->push_back(hop);
-    }
-  }
-
   static void save_bits(Writer& w, const std::shared_ptr<const BloomBits>& b) {
     w.u8(b != nullptr);
     if (b != nullptr) w.vec_u64(*b);
@@ -413,8 +391,9 @@ struct Snapshot::Impl {
     w.u32(f.total_pkts);
     w.u8(f.incast);
     w.u32(f.vfid);
-    save_hops(w, f.path);
-    save_hops(w, f.rpath);
+    // v2: packed route ids (8 bytes) instead of two serialized HopVecs.
+    w.u32(f.path_id);
+    w.u32(f.rpath_id);
     w.u32(f.rvfid);
     w.i64(f.base_rtt);
     w.i64(f.ack_lat);
@@ -457,8 +436,8 @@ struct Snapshot::Impl {
     f->total_pkts = r.u32();
     f->incast = r.u8() != 0;
     f->vfid = r.u32();
-    load_hops(r, &f->path);
-    load_hops(r, &f->rpath);
+    f->path_id = r.u32();
+    f->rpath_id = r.u32();
     f->rvfid = r.u32();
     f->base_rtt = r.i64();
     f->ack_lat = r.i64();
@@ -526,12 +505,22 @@ struct Snapshot::Impl {
     // Sender flow index: containers hold Flow pointers; serialize uids in
     // container order (the eligible FIFO order IS the service order).
     const FlowIndex& ix = nic.index_;
-    w.u64(ix.eligible_.size());
-    for (const Flow* f : ix.eligible_) w.u64(f->uid);
-    w.u64(ix.pacing_.size());
-    for (const Flow* f : ix.pacing_) w.u64(f->uid);
-    w.u64(ix.paused_.size());
-    for (const Flow* f : ix.paused_) w.u64(f->uid);
+    w.u64(ix.elig_count_);
+    for (const Flow* f = ix.elig_head_; f != nullptr; f = f->elig_next) {
+      w.u64(f->uid);
+    }
+    const std::size_t n_pacing =
+        ix.slab_ == nullptr ? 0 : ix.slab_->pacing.size();
+    const std::size_t n_paused =
+        ix.slab_ == nullptr ? 0 : ix.slab_->paused.size();
+    w.u64(n_pacing);
+    for (std::size_t i = 0; i < n_pacing; ++i) {
+      w.u64(ix.slab_->pacing[i]->uid);
+    }
+    w.u64(n_paused);
+    for (std::size_t i = 0; i < n_paused; ++i) {
+      w.u64(ix.slab_->paused[i]->uid);
+    }
     save_bits(w, ix.bits_);
     w.i64(ix.next_gate_);
     w.u64(ix.transitions_);
@@ -568,27 +557,28 @@ struct Snapshot::Impl {
     }
     nic->rcv_slab_.free_ = r.read_vec_u32();
     nic->rcv_slab_.hw_ = r.u64();
+    // Flow index: rebuilt in container order. The kIn* membership bits
+    // ride each Flow's own image, so the FIFO links are re-threaded and
+    // the slab re-materialized (only if anything was queued) without
+    // touching them.
     FlowIndex& ix = nic->index_;
     const std::uint64_t n_el = r.u64();
-    ix.eligible_.clear();
     for (std::uint64_t i = 0; i < n_el && r.ok(); ++i) {
       Flow* f = net.flow(r.u64());
       if (f == nullptr) r.fail();
-      else ix.eligible_.push_back(f);
+      else ix.fifo_push(f);
     }
     const std::uint64_t n_pc = r.u64();
-    ix.pacing_.clear();
     for (std::uint64_t i = 0; i < n_pc && r.ok(); ++i) {
       Flow* f = net.flow(r.u64());
       if (f == nullptr) r.fail();
-      else ix.pacing_.push_back(f);
+      else ix.slab().pacing.push_back(f);
     }
     const std::uint64_t n_pa = r.u64();
-    ix.paused_.clear();
     for (std::uint64_t i = 0; i < n_pa && r.ok(); ++i) {
       Flow* f = net.flow(r.u64());
       if (f == nullptr) r.fail();
-      else ix.paused_.push_back(f);
+      else ix.slab().paused.push_back(f);
     }
     ix.bits_ = load_bits(r);
     ix.next_gate_ = r.i64();
@@ -1101,6 +1091,13 @@ std::vector<std::uint8_t> Snapshot::save(ShardedSimulator& sim, Network& net,
   // executed-event attribution that rebuilds per-shard totals.
   const int n_nodes = sim.n_nodes_;
   for (int i = 0; i < n_nodes; ++i) w.u32(sim.seq_[static_cast<std::size_t>(i)]);
+  // Setup-space counters (v2): streamed flow starts keep consuming these
+  // after a restore, so they must resume exactly where the checkpoint
+  // left them for the minted keys (and any re-checkpoint image) to stay
+  // byte-identical to an unbroken run.
+  for (int i = 0; i < n_nodes; ++i) {
+    w.u32(sim.setup_seq_[static_cast<std::size_t>(i)]);
+  }
   for (int i = 0; i < n_nodes; ++i) {
     w.u64(sim.node_events_[static_cast<std::size_t>(i)]);
   }
@@ -1116,8 +1113,10 @@ std::vector<std::uint8_t> Snapshot::save(ShardedSimulator& sim, Network& net,
 
   // Flows, uid-sorted (the map iteration order is hash-layout-dependent).
   std::vector<const Flow*> flows;
-  flows.reserve(net.flows_.size());
-  for (const auto& [uid, f] : net.flows_) flows.push_back(f.get());
+  for (const auto& slice : net.flows_) {
+    flows.reserve(flows.size() + slice.size());
+    for (const auto& [uid, f] : slice) flows.push_back(f.get());
+  }
   std::sort(flows.begin(), flows.end(),
             [](const Flow* a, const Flow* b) { return a->uid < b->uid; });
   w.u64(flows.size());
@@ -1165,7 +1164,9 @@ bool Snapshot::restore(ShardedSimulator& sim, Network& net,
     if (error != nullptr) *error = why;
     return false;
   };
-  if (sim.events_processed() != 0 || !net.flows_.empty()) {
+  bool any_flows = false;
+  for (const auto& slice : net.flows_) any_flows |= !slice.empty();
+  if (sim.events_processed() != 0 || any_flows) {
     return fail("restore target is not a freshly-constructed pair");
   }
   Reader r(image.data(), image.size());
@@ -1181,6 +1182,9 @@ bool Snapshot::restore(ShardedSimulator& sim, Network& net,
   const int n_nodes = sim.n_nodes_;
   for (int i = 0; i < n_nodes; ++i) {
     sim.seq_[static_cast<std::size_t>(i)] = r.u32();
+  }
+  for (int i = 0; i < n_nodes; ++i) {
+    sim.setup_seq_[static_cast<std::size_t>(i)] = r.u32();
   }
   for (int i = 0; i < n_nodes; ++i) {
     sim.node_events_[static_cast<std::size_t>(i)] = r.u64();
@@ -1199,7 +1203,8 @@ bool Snapshot::restore(ShardedSimulator& sim, Network& net,
     auto f = std::make_unique<Flow>();
     Impl::load_flow(r, f.get());
     const std::uint64_t uid = f->uid;
-    net.flows_[uid] = std::move(f);
+    const int owner = sim.shard_of(static_cast<int>(f->key.src));
+    net.flows_[static_cast<std::size_t>(owner)][uid] = std::move(f);
   }
   if (!r.ok()) return fail("truncated image (flow section)");
 

@@ -46,8 +46,10 @@ class ShardedSimulator;
 class Snapshot {
  public:
   // Image format version. Bump on any layout change; restore() rejects
-  // other versions.
-  static constexpr std::uint32_t kVersion = 1;
+  // other versions. v2: setup-space sequence counters, packed route ids
+  // in the flow section, intrusive ready-FIFO + lazy sender slabs in the
+  // NIC section.
+  static constexpr std::uint32_t kVersion = 2;
 
   // Serializes the complete mutable state of (sim, net) at simulated time
   // `at`. Preconditions: the engine is idle (run_until(at) returned) and

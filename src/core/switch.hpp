@@ -27,7 +27,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -116,8 +115,46 @@ class Switch : public Device {
   // resume rate self-clocks to ~2 per pause-feedback RTT and at most two
   // line-rate inrushes can ever coincide — which is what caps the queue's
   // buffering at ~2 hop-BDPs.
+  // Resume-pending FIFO. Deliberately NOT std::deque: an empty libstdc++
+  // deque owns a 512 B chunk plus its node map, and at 32 queues per
+  // egress x ~250k live ports on the 65536-host tier those empty chunks
+  // alone were ~4.4 GB — most of the big-tier footprint. A vector with a
+  // dead-prefix head index allocates nothing until the first push (the
+  // common case: resume lists are empty almost everywhere, and bounded
+  // by the queue's paused entries when not), pops in O(1) amortized with
+  // identical ordering, and gives the storage back on clear().
+  class PendingFifo {
+   public:
+    bool empty() const { return head_ == buf_.size(); }
+    std::size_t size() const { return buf_.size() - head_; }
+    FlowEntry* front() const { return buf_[head_]; }
+    void push_back(FlowEntry* e) { buf_.push_back(e); }
+    void pop_front() {
+      ++head_;
+      if (head_ == buf_.size()) {
+        buf_.clear();
+        head_ = 0;
+      } else if (head_ > 32 && head_ * 2 > buf_.size()) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    }
+    void clear() {
+      std::vector<FlowEntry*>().swap(buf_);
+      head_ = 0;
+    }
+    std::vector<FlowEntry*>::const_iterator begin() const {
+      return buf_.begin() + static_cast<std::ptrdiff_t>(head_);
+    }
+    std::vector<FlowEntry*>::const_iterator end() const { return buf_.end(); }
+
+   private:
+    std::vector<FlowEntry*> buf_;
+    std::size_t head_ = 0;
+  };
+
   struct QueueResume {
-    std::deque<FlowEntry*> pending;
+    PendingFifo pending;
     int outstanding = 0;
     int paused = 0;  // paused entries on this queue (skips resume scans)
   };

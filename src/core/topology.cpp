@@ -34,6 +34,7 @@ void build_fabric(const FatTreeConfig& cfg, int dc, int group_base,
                   std::vector<NodeTier>& tier, std::vector<int>& dcs,
                   std::vector<int>& pods, std::vector<int>& groups,
                   std::vector<int>& hosts, std::vector<int>& tor_of_host,
+                  std::vector<int>& tor_slot,
                   std::vector<std::vector<int>>& tor_uplinks,
                   std::vector<std::vector<int>>& agg_uplinks,
                   std::vector<int>& tors_out, std::vector<int>& spines_out) {
@@ -49,6 +50,7 @@ void build_fabric(const FatTreeConfig& cfg, int dc, int group_base,
   pods.resize(end, -1);
   groups.resize(end, 0);
   tor_of_host.resize(end, -1);
+  tor_slot.resize(end, -1);
   tor_uplinks.resize(end);
   agg_uplinks.resize(end);
 
@@ -70,6 +72,7 @@ void build_fabric(const FatTreeConfig& cfg, int dc, int group_base,
     const int tor = tor0 + tr;
     tier[tor] = NodeTier::kTor;
     groups[tor] = group_base + tr;
+    tor_slot[tor] = tr;
     tors_out.push_back(tor);
     for (int s = 0; s < cfg.n_spines; ++s) {
       tor_uplinks[tor].push_back(static_cast<int>(ports[tor].size()));
@@ -118,8 +121,8 @@ TopoGraph TopoGraph::fat_tree(const FatTreeConfig& cfg) {
   TopoGraph t;
   std::vector<int> tors, spines;
   build_fabric(cfg, 0, 0, t.ports_, t.tier_, t.dc_, t.pod_, t.group_,
-               t.hosts_, t.tor_of_host_, t.tor_uplinks_, t.agg_uplinks_,
-               tors, spines);
+               t.hosts_, t.tor_of_host_, t.tor_slot_, t.tor_uplinks_,
+               t.agg_uplinks_, tors, spines);
   t.host_rate_ = cfg.host_rate;
   t.hosts_per_tor_ = cfg.hosts_per_tor;
   t.finalize_groups();
@@ -133,8 +136,8 @@ TopoGraph TopoGraph::cross_dc(const CrossDcConfig& cfg) {
   for (int dc = 0; dc < 2; ++dc) {
     std::vector<int> tors;
     build_fabric(cfg.dc, dc, group_base, t.ports_, t.tier_, t.dc_, t.pod_,
-                 t.group_, t.hosts_, t.tor_of_host_, t.tor_uplinks_,
-                 t.agg_uplinks_, tors, spines_by_dc[dc]);
+                 t.group_, t.hosts_, t.tor_of_host_, t.tor_slot_,
+                 t.tor_uplinks_, t.agg_uplinks_, tors, spines_by_dc[dc]);
     group_base += cfg.dc.n_tors + cfg.dc.n_spines;
   }
   // One gateway per DC, attached to every spine of its fabric with fat
@@ -147,6 +150,7 @@ TopoGraph TopoGraph::cross_dc(const CrossDcConfig& cfg) {
     t.pod_.push_back(-1);
     t.group_.push_back(group_base + dc);
     t.tor_of_host_.push_back(-1);
+    t.tor_slot_.push_back(-1);
     t.tor_uplinks_.emplace_back();
     t.agg_uplinks_.emplace_back();
     t.gateway_of_dc_.push_back(gw);
@@ -177,6 +181,7 @@ TopoGraph TopoGraph::three_tier(const ThreeTierConfig& cfg) {
   t.pod_.assign(end, -1);
   t.group_.assign(end, 0);
   t.tor_of_host_.assign(end, -1);
+  t.tor_slot_.assign(end, -1);
   t.tor_uplinks_.resize(end);
   t.agg_uplinks_.resize(end);
 
@@ -193,6 +198,7 @@ TopoGraph TopoGraph::three_tier(const ThreeTierConfig& cfg) {
       t.tier_[edge] = NodeTier::kTor;
       t.pod_[edge] = p;
       t.group_[edge] = p;
+      t.tor_slot_[edge] = e;
       for (int h = 0; h < cfg.hosts_per_edge; ++h) {
         const int host = base + e * cfg.hosts_per_edge + h;
         t.pod_[host] = p;
@@ -574,6 +580,91 @@ bool TopoGraph::route_into(const FlowKey& key, HopVec& out,
   push_hop(out, {spine, port_to(spine, dst_tor)}, key, now);
   push_hop(out, {dst_tor, port_to(dst_tor, dst)}, key, now);
   return true;
+}
+
+std::uint32_t TopoGraph::compress_path(const FlowKey& key,
+                                       const HopVec& path) const {
+  (void)key;
+  // Only the ECMP picks need recording; the locality class (which decides
+  // how to re-derive the structural hops) is recomputed from the key at
+  // expansion time. A fault-plane detour compresses the same way — its
+  // picks come from a filtered candidate list, but they are still just an
+  // uplink port and a second-choice port.
+  if (path.size() <= 2) return 0;  // same-ToR: no ECMP choice at all
+  const auto up = static_cast<std::uint32_t>(path[1].port) + 1;
+  std::uint32_t second = 0;
+  if (three_tier_ && path.size() == 6) {
+    second = static_cast<std::uint32_t>(path[2].port) + 1;  // agg's core uplink
+  } else if (!three_tier_ && path.size() == 7) {
+    second = static_cast<std::uint32_t>(path[4].port) + 1;  // remote gw's spine
+  }
+  return (second << 16) | up;
+}
+
+void TopoGraph::expand_path(const FlowKey& key, std::uint32_t id,
+                            HopVec& out) const {
+  out.clear();
+  const int src = static_cast<int>(key.src);
+  const int dst = static_cast<int>(key.dst);
+  const int src_tor = tor_of_host_[static_cast<std::size_t>(src)];
+  const int dst_tor = tor_of_host_[static_cast<std::size_t>(dst)];
+  // Hosts link to their ToR before anything else, so the ToR's port back
+  // down to `dst` sits on the host's (only) port record.
+  const int access = ports_[static_cast<std::size_t>(dst)][0].peer_port;
+  out.push_back({src, 0});
+  if (id == 0) {
+    out.push_back({src_tor, access});
+    return;
+  }
+  const int up = static_cast<int>(id & 0xFFFFu) - 1;
+  const int second = static_cast<int>(id >> 16) - 1;  // -1: no second pick
+  const int mid =
+      ports_[static_cast<std::size_t>(src_tor)][static_cast<std::size_t>(up)]
+          .peer;
+  out.push_back({src_tor, up});
+  if (three_tier_) {
+    if (second >= 0) {
+      const int core = ports_[static_cast<std::size_t>(mid)]
+                             [static_cast<std::size_t>(second)].peer;
+      // Plane wiring links cores to aggs in pod order: core port p leads
+      // down to pod p.
+      const int down = pod_[static_cast<std::size_t>(dst)];
+      const int agg2 = ports_[static_cast<std::size_t>(core)]
+                             [static_cast<std::size_t>(down)].peer;
+      out.push_back({mid, second});
+      out.push_back({core, down});
+      out.push_back({agg2, tor_slot_[static_cast<std::size_t>(dst_tor)]});
+    } else {
+      out.push_back({mid, tor_slot_[static_cast<std::size_t>(dst_tor)]});
+    }
+  } else if (dc_[static_cast<std::size_t>(src)] !=
+             dc_[static_cast<std::size_t>(dst)]) {
+    const int gw = gateway_of_dc_[static_cast<std::size_t>(
+        dc_[static_cast<std::size_t>(src)])];
+    const int peer_gw = gateway_of_dc_[static_cast<std::size_t>(
+        dc_[static_cast<std::size_t>(dst)])];
+    // Gateway attachments follow a spine's ToR links, and the long-haul
+    // link is each gateway's final port — both are the last port.
+    out.push_back(
+        {mid, static_cast<int>(ports_[static_cast<std::size_t>(mid)].size()) -
+                  1});
+    out.push_back(
+        {gw, static_cast<int>(ports_[static_cast<std::size_t>(gw)].size()) -
+                 1});
+    const int down_spine = ports_[static_cast<std::size_t>(peer_gw)]
+                                 [static_cast<std::size_t>(second)].peer;
+    out.push_back({peer_gw, second});
+    out.push_back({down_spine, tor_slot_[static_cast<std::size_t>(dst_tor)]});
+  } else {
+    out.push_back({mid, tor_slot_[static_cast<std::size_t>(dst_tor)]});
+  }
+  out.push_back({dst_tor, access});
+}
+
+std::uint32_t TopoGraph::path_id(const FlowKey& key) const {
+  HopVec hv;
+  route_into(key, hv);
+  return compress_path(key, hv);
 }
 
 }  // namespace bfc

@@ -102,6 +102,22 @@ struct ThreeTierConfig {
     return c;
   }
 
+  // The 65536-host scale preset: 64 pods x 64 edges x 16 hosts, 256
+  // cores (70912 nodes). Opened by the memory diet of PR 7 — streaming
+  // traffic generation (no materialized arrival trace), the intrusive
+  // ready-FIFO plus lazy sender slabs (no per-NIC container heap), and
+  // packed 32-bit route ids (no per-flow hop vectors) — which together
+  // keep a one-shard run under 4 GB peak RSS.
+  static ThreeTierConfig t3_65536() {
+    ThreeTierConfig c;
+    c.n_pods = 64;
+    c.edges_per_pod = 64;
+    c.hosts_per_edge = 16;
+    c.aggs_per_pod = 16;
+    c.cores_per_agg = 16;
+    return c;
+  }
+
   // A small instance for unit tests: 32 hosts over 4 pods, 4 cores.
   static ThreeTierConfig t3_small() {
     ThreeTierConfig c;
@@ -228,6 +244,25 @@ class TopoGraph {
   // route() for every locality class.
   void route_into(const FlowKey& key, HopVec& out) const;
 
+  // Packed route ids. Every path any resolver produces is determined by
+  // the flow key plus at most two ECMP choices — the source ToR/edge
+  // uplink and a "second pick" (the agg's core uplink inter-pod, or the
+  // remote gateway's down-spine port cross-DC); every other hop is the
+  // unique structural consequence. So a flow's route cache is a 32-bit
+  // id — low 16 bits the uplink port + 1 (0 = same-ToR, no uplink), high
+  // 16 bits the second pick + 1 (0 = none) — instead of an 8-hop vector,
+  // and the id expands in O(hops) with O(1) table lookups at
+  // packet-stamp time. kNoPath marks an unresolved cache (the state
+  // every flow starts in).
+  static constexpr std::uint32_t kNoPath = 0xFFFFFFFFu;
+  std::uint32_t compress_path(const FlowKey& key, const HopVec& path) const;
+  // Rebuilds the exact hop sequence `compress_path` saw. Independent of
+  // the fault plane: the id pins the choices, the structure does the
+  // rest, so re-validation across fault epochs compares ids only.
+  void expand_path(const FlowKey& key, std::uint32_t id, HopVec& out) const;
+  // Convenience: route_into a scratch vector and compress.
+  std::uint32_t path_id(const FlowKey& key) const;
+
   // Liveness-masked resolution for the fault plane: same hop structure
   // and ECMP salts, but every candidate list is filtered to links that
   // `plan` reports up at `now` before the ECMP pick — so a flap steers
@@ -285,6 +320,11 @@ class TopoGraph {
   std::vector<int> group_nodes_;      // per group: node count (tiebreak)
   std::vector<int> hosts_;
   std::vector<int> tor_of_host_;      // host id -> ToR/edge node
+  // ToR/edge -> its local slot: the edge index within its pod (3-tier)
+  // or the ToR index within its fabric (2-tier / cross-DC). The builders
+  // wire upper tiers in slot order, so a switch's port toward ToR t is
+  // tor_slot_[t] — the O(1) lookup expand_path leans on. -1 elsewhere.
+  std::vector<int> tor_slot_;
   std::vector<std::vector<int>> tor_uplinks_;   // ToR/edge -> uplink ports
   std::vector<std::vector<int>> agg_uplinks_;   // agg -> core ports (3-tier)
   std::vector<int> gateway_of_dc_;    // dc -> gateway node (cross-DC only)

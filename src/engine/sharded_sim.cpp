@@ -82,13 +82,30 @@ Event* Shard::make(int src_entity, Time at) {
     Event* e = b->pool.alloc();
     e->at = at < b->now ? b->now : at;
     e->key = (static_cast<std::uint64_t>(src_entity) << 32) |
-             engine_->seq_[static_cast<std::size_t>(src_entity)]++;
+             (kRunSeqBase |
+              engine_->seq_[static_cast<std::size_t>(src_entity)]++);
     return e;
   }
   Event* e = pool_.alloc();
   e->at = at < now_ ? now_ : at;
   e->key = (static_cast<std::uint64_t>(src_entity) << 32) |
-           engine_->seq_[static_cast<std::size_t>(src_entity)]++;
+           (kRunSeqBase |
+            engine_->seq_[static_cast<std::size_t>(src_entity)]++);
+  return e;
+}
+
+Event* Shard::make_setup(int src_entity, Time at) {
+  if (detail::tl_batch != nullptr) {
+    std::fprintf(stderr,
+                 "Shard::make_setup: illegal from inside a stolen batch "
+                 "(shard %d)\n",
+                 idx_);
+    std::abort();
+  }
+  Event* e = pool_.alloc();
+  e->at = at < now_ ? now_ : at;
+  e->key = (static_cast<std::uint64_t>(src_entity) << 32) |
+           engine_->setup_seq_[static_cast<std::size_t>(src_entity)]++;
   return e;
 }
 
@@ -243,6 +260,7 @@ ShardedSimulator::ShardedSimulator(const TopoGraph& topo, int n_shards,
   n_nodes_ = topo.num_nodes();
   shard_of_ = topo.partition(S);
   seq_.assign(static_cast<std::size_t>(n_nodes_ + S), 0);
+  setup_seq_.assign(static_cast<std::size_t>(n_nodes_), 0);
   node_events_.assign(static_cast<std::size_t>(n_nodes_), 0);
   mbox_.resize(static_cast<std::size_t>(S) * static_cast<std::size_t>(S));
   next_time_.assign(static_cast<std::size_t>(S), 0);

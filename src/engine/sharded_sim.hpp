@@ -66,6 +66,17 @@ class ShardedSimulator;
 // engine construction, per instance — tests flip modes in-process.
 enum class SyncMode { kEnv = 0, kChannel, kBarrier };
 
+// Per-entity sequence numbers live in two disjoint spaces: *setup*
+// sequences (fault installation, flow prepare/stream starts) count from 0,
+// *runtime* sequences (everything a handler or closure posts while the
+// clock runs) carry this base bit. Splitting the spaces is what lets a
+// streamed flow start — drawn on demand mid-run — mint the exact key the
+// eager pre-seeded path would have minted, without the two paths racing
+// for one counter. Setup events have always been created before any
+// runtime event of the same entity, so tagging runtime keys above every
+// setup key preserves the historical (at, key) order bit for bit.
+constexpr std::uint32_t kRunSeqBase = 0x80000000u;
+
 // One locality group's slice of a split window: the unit of work stealing.
 // The owner pops every event below the (capped) window end, partitions by
 // locality group, and offers the batches; whoever claims one — a blocked
@@ -164,6 +175,13 @@ class Shard {
   // replay) posts through post_closure() which uses the shard's own
   // reserved entity.
   Event* make(int src_entity, Time at);
+
+  // Fresh pooled event keyed in `src_entity`'s *setup* sequence space
+  // (see kRunSeqBase): pre-run installation and streamed flow starts,
+  // which must mint identical keys whether the arrival was materialized
+  // up front or drawn on demand mid-run. Never legal from inside a
+  // stolen batch (setup counters are engine-global, not batch-private).
+  Event* make_setup(int src_entity, Time at);
 
   // Arena-backed payload handles for events posted from this shard. The
   // node travels with the event and is released into the *executing*
@@ -376,7 +394,8 @@ class ShardedSimulator {
   void drain_transport_for_snapshot();
 
   std::vector<int> shard_of_;
-  std::vector<std::uint32_t> seq_;  // per entity: nodes, then shard envs
+  std::vector<std::uint32_t> seq_;  // runtime space: nodes, then shard envs
+  std::vector<std::uint32_t> setup_seq_;  // setup space: nodes only
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<Mailbox> mbox_;      // barrier mode; index src * S + dst
   std::vector<Time> next_time_;    // per-shard earliest pending, at barrier

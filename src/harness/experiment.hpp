@@ -65,6 +65,16 @@ struct ExperimentConfig {
   // bytes (summed over NICs) every period — the graceful-degradation
   // benches derive goodput-vs-time and recovery latency from it.
   Time goodput_sample_period = 0;
+  // Trace generation mode. The default streams arrivals: each host-owning
+  // shard replays the generator lazily, one gen_window at a time, and
+  // activates only its own sources — O(shards) generator state instead of
+  // a materialized arrival vector (the term that dominated harness RSS at
+  // 16k+ hosts). Both modes draw from the same RNG streams and mint
+  // identical event keys, so results are bit-identical (the differential
+  // test pins this); eager_trace=true keeps the materialized path.
+  // BFC_EAGER_TRACE=0/1 overrides for A/B without a rebuild.
+  bool eager_trace = false;
+  Time gen_window = microseconds(50);
 };
 
 struct ExperimentResult {
@@ -149,6 +159,12 @@ struct WarmCheckpoint {
   // Per-tick delivered-payload totals (already summed over shards, so the
   // prefix is meaningful at any restore-side shard count).
   std::vector<std::int64_t> goodput_prefix;
+  // Generator mode the checkpoint was taken under. The restore side must
+  // match: the modes mint the same event keys but consume the per-shard
+  // generator replicas differently, so a silent switch would desync the
+  // stream fast-forward.
+  bool eager_trace = false;
+  Time gen_window = 0;
 };
 
 // One experiment as a resident object: construction does everything
@@ -194,14 +210,22 @@ class ExperimentRun {
                 bool warm);
   // Pre-seeds the buffer/goodput sampler closures for every tick strictly
   // after `resume_after` (pass -1 to seed from t=0). The relative posting
-  // order (all buffer ticks, then all goodput ticks) is part of the
-  // determinism contract — it fixes the env-entity event order.
+  // order (all buffer ticks, then all goodput ticks, then the streaming
+  // pump) is part of the determinism contract — it fixes the env-entity
+  // event order.
   void seed_samplers(Time resume_after);
+  // Streaming pump, run as a shard-s closure at window boundary `b`:
+  // advances that shard's generator replica to min(b + gen_window_, stop),
+  // activates the arrivals it owns, and re-posts itself for the next
+  // window while any trace remains.
+  void pump(int s, Time b);
 
   const TopoGraph& topo_;
   ExperimentConfig cfg_;
   FaultPlan faults_;  // resolved plan; outlives net_ (declared before it)
   int shards_ = 1;
+  bool eager_ = false;     // cfg_.eager_trace after the env override
+  Time gen_window_ = 1;
   Time horizon_ = 0;
   Time period_ = 1;
   Time cursor_ = 0;
@@ -213,6 +237,11 @@ class ExperimentRun {
   std::vector<std::vector<double>> series_;              // per switch
   std::vector<std::vector<std::int64_t>> gseries_;       // per shard
   std::vector<std::int64_t> goodput_prefix_;             // warm runs only
+  // Streaming mode: one generator replica per host-owning shard (null
+  // elsewhere). Each replica replays the full trace and filters to its
+  // shard's sources, so the per-source arrival order — and thus every
+  // minted event key — matches the eager path exactly.
+  std::vector<std::unique_ptr<ArrivalStream>> streams_;
 };
 
 }  // namespace bfc

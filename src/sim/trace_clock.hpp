@@ -1,0 +1,62 @@
+// Minimal replay clock for open-loop generators: closures pop in
+// (time, creation-order) order — exactly the order a single-shard engine
+// gives its environment closures, whose keys share one entity and rise
+// with creation. TrafficGen replays against one of these, both to
+// materialize a full trace up front (generate_trace) and, per shard, to
+// stream arrivals on demand (ArrivalStream), so the RNG draw
+// interleaving is identical in every mode. The heap never holds more
+// than the generator's few self-rescheduling closures, which is what
+// makes a per-shard replica effectively free.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bfc {
+
+class TraceClock {
+ public:
+  Time now() const { return now_; }
+
+  void at(Time t, std::function<void()> fn) {
+    heap_.push_back(Item{t < now_ ? now_ : t, seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  // Runs every closure with timestamp <= stop, then parks the clock at
+  // `stop`. Repeated calls continue where the last one stopped.
+  void run_until(Time stop) {
+    while (!heap_.empty() && heap_.front().at <= stop) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      Item it = std::move(heap_.back());
+      heap_.pop_back();
+      now_ = it.at;
+      it.fn();
+    }
+    if (now_ < stop) now_ = stop;
+  }
+
+ private:
+  struct Item {
+    Time at = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::vector<Item> heap_;
+};
+
+}  // namespace bfc

@@ -4,12 +4,27 @@ namespace bfc {
 
 TrafficGen::TrafficGen(ShardedSimulator& sim, const TopoGraph& topo,
                        const TrafficConfig& cfg, StartFn start)
-    : sim_(sim),
+    : sim_(&sim),
       topo_(topo),
       cfg_(cfg),
       start_(std::move(start)),
       rng_(cfg.seed),
       uid_(cfg.first_uid) {
+  init();
+}
+
+TrafficGen::TrafficGen(TraceClock& clock, const TopoGraph& topo,
+                       const TrafficConfig& cfg, StartFn start)
+    : clock_(&clock),
+      topo_(topo),
+      cfg_(cfg),
+      start_(std::move(start)),
+      rng_(cfg.seed),
+      uid_(cfg.first_uid) {
+  init();
+}
+
+void TrafficGen::init() {
   const double agg_bytes_per_sec =
       static_cast<double>(topo_.num_hosts()) *
       topo_.host_rate().bytes_per_sec();
@@ -27,6 +42,18 @@ TrafficGen::TrafficGen(ShardedSimulator& sim, const TopoGraph& topo,
         static_cast<double>(cfg_.incast_total_bytes);
     incast_mean_sec_ = 1.0 / incasts_per_sec;
     schedule_incast();
+  }
+}
+
+Time TrafficGen::now() const {
+  return clock_ != nullptr ? clock_->now() : sim_->now();
+}
+
+void TrafficGen::at(Time t, std::function<void()> fn) {
+  if (clock_ != nullptr) {
+    clock_->at(t, std::move(fn));
+  } else {
+    sim_->at(t, std::move(fn));
   }
 }
 
@@ -52,9 +79,9 @@ int TrafficGen::random_host_except(int avoid, int want_dc) {
 void TrafficGen::schedule_arrival() {
   const Time gap = static_cast<Time>(
       rng_.exponential(arrival_mean_sec_) * 1e9);
-  const Time at = sim_.now() + (gap < 1 ? 1 : gap);
+  const Time at = now() + (gap < 1 ? 1 : gap);
   if (at > cfg_.stop) return;
-  sim_.at(at, [this] {
+  this->at(at, [this] {
     launch_one();
     schedule_arrival();
   });
@@ -81,9 +108,9 @@ void TrafficGen::launch_one() {
 void TrafficGen::schedule_incast() {
   const Time gap =
       static_cast<Time>(rng_.exponential(incast_mean_sec_) * 1e9);
-  const Time at = sim_.now() + (gap < 1 ? 1 : gap);
+  const Time at = now() + (gap < 1 ? 1 : gap);
   if (at > cfg_.stop) return;
-  sim_.at(at, [this] {
+  this->at(at, [this] {
     launch_incast();
     schedule_incast();
   });
@@ -105,28 +132,44 @@ void TrafficGen::launch_incast() {
     start_(key, per_sender < 1 ? 1 : per_sender, uid_++, /*incast=*/true);
   }
   if (cfg_.incast_period > 0) {
-    const Time at = sim_.now() + cfg_.incast_period;
+    const Time at = now() + cfg_.incast_period;
     if (at <= cfg_.stop) {
-      sim_.at(at, [this] { launch_incast(); });
+      this->at(at, [this] { launch_incast(); });
     }
   }
 }
 
 std::vector<FlowArrival> generate_trace(const TopoGraph& topo,
                                         const TrafficConfig& cfg) {
-  // Replaying the generator on a scratch single-shard clock reproduces the
-  // exact event-time/RNG interleaving a live run would see, because the
+  // Replaying the generator on a scratch clock reproduces the exact
+  // event-time/RNG interleaving a live run would see, because the
   // background and incast processes share one Rng whose draw order is the
   // chronological order of their events.
   std::vector<FlowArrival> out;
-  ShardedSimulator scratch(topo, 1);
-  TrafficGen gen(scratch, topo, cfg,
-                 [&out, &scratch](const FlowKey& key, std::uint64_t bytes,
-                                  std::uint64_t uid, bool incast) {
-                   out.push_back({scratch.now(), key, bytes, uid, incast});
+  TraceClock clock;
+  TrafficGen gen(clock, topo, cfg,
+                 [&out, &clock](const FlowKey& key, std::uint64_t bytes,
+                                std::uint64_t uid, bool incast) {
+                   out.push_back({clock.now(), key, bytes, uid, incast});
                  });
-  scratch.run_until(cfg.stop);
+  clock.run_until(cfg.stop);
   return out;
+}
+
+ArrivalStream::ArrivalStream(const TopoGraph& topo, const TrafficConfig& cfg)
+    : gen_(clock_, topo, cfg,
+           [this](const FlowKey& key, std::uint64_t bytes, std::uint64_t uid,
+                  bool incast) {
+             pending_.push_back({clock_.now(), key, bytes, uid, incast});
+           }) {}
+
+void ArrivalStream::advance(
+    Time upto, const std::function<void(const FlowArrival&)>& sink) {
+  clock_.run_until(upto);
+  if (sink != nullptr) {
+    for (const FlowArrival& a : pending_) sink(a);
+  }
+  pending_.clear();
 }
 
 }  // namespace bfc

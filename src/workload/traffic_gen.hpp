@@ -3,9 +3,12 @@
 // (Fig. 8's fan-in sweep).
 //
 // Arrivals are open loop — nothing about them depends on network state —
-// so `generate_trace` can replay the generator on a scratch clock before a
-// run and hand the sharded engine a complete arrival schedule to pre-seed,
-// identical to what a live single-shard generator would produce.
+// so the generator replays identically on any clock that pops closures in
+// (time, creation-order) order. Three consumers share one draw sequence:
+// a live single-shard engine (the direct benches), `generate_trace` (a
+// full materialized schedule on a scratch TraceClock), and per-shard
+// `ArrivalStream` replicas that pull the same schedule window by window
+// without ever holding it whole.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +19,7 @@
 #include "engine/sharded_sim.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "sim/trace_clock.hpp"
 #include "workload/size_dist.hpp"
 
 namespace bfc {
@@ -38,19 +42,27 @@ class TrafficGen {
   using StartFn = std::function<void(const FlowKey&, std::uint64_t bytes,
                                      std::uint64_t uid, bool incast)>;
 
+  // Live mode: schedules itself on a (single-shard) engine.
   TrafficGen(ShardedSimulator& sim, const TopoGraph& topo,
+             const TrafficConfig& cfg, StartFn start);
+  // Replay/stream mode: schedules itself on a standalone TraceClock.
+  TrafficGen(TraceClock& clock, const TopoGraph& topo,
              const TrafficConfig& cfg, StartFn start);
 
   std::uint64_t next_uid() const { return uid_; }
 
  private:
+  void init();
+  Time now() const;
+  void at(Time t, std::function<void()> fn);
   void schedule_arrival();
   void schedule_incast();
   void launch_one();
   void launch_incast();
   int random_host_except(int avoid, int want_dc);
 
-  ShardedSimulator& sim_;
+  ShardedSimulator* sim_ = nullptr;
+  TraceClock* clock_ = nullptr;
   const TopoGraph& topo_;
   TrafficConfig cfg_;
   StartFn start_;
@@ -72,5 +84,27 @@ struct FlowArrival {
 // The full arrival schedule of `cfg` on `topo`, in start order.
 std::vector<FlowArrival> generate_trace(const TopoGraph& topo,
                                         const TrafficConfig& cfg);
+
+// Lazy puller over the same schedule: a full TrafficGen replica on a
+// private TraceClock, drawing the *global* arrival sequence (uids and
+// all) window by window. Memory is O(window arrivals), not O(trace);
+// the caller filters to the hosts it owns. Same seed, same draws, same
+// schedule as generate_trace — the streaming differential test holds
+// the two identical.
+class ArrivalStream {
+ public:
+  ArrivalStream(const TopoGraph& topo, const TrafficConfig& cfg);
+
+  // Emits, in start order, every arrival with at <= upto not already
+  // emitted (or discarded) by an earlier call. A null sink discards the
+  // window — restore uses that to fast-forward the stream to a
+  // checkpoint's coverage point without re-creating its flows.
+  void advance(Time upto, const std::function<void(const FlowArrival&)>& sink);
+
+ private:
+  TraceClock clock_;
+  std::vector<FlowArrival> pending_;
+  TrafficGen gen_;  // last: its ctor may emit t=0 arrivals into pending_
+};
 
 }  // namespace bfc

@@ -27,6 +27,16 @@ void check_same(const TopoGraph& topo, const FlowKey& key) {
   for (std::size_t i = 0; i < lazy.size(); ++i) {
     CHECK(lazy[i] == eager[i]);
   }
+  // The packed id round-trips to the exact hop sequence — this is the
+  // invariant that lets flows cache 4 bytes instead of an 8-hop vector.
+  const std::uint32_t id = topo.compress_path(key, lazy);
+  CHECK(id != TopoGraph::kNoPath);
+  HopVec expanded;
+  topo.expand_path(key, id, expanded);
+  CHECK(expanded.size() == lazy.size());
+  for (std::size_t i = 0; i < expanded.size(); ++i) {
+    CHECK(expanded[i] == lazy[i]);
+  }
 }
 
 // Random (src, dst, ports) pairs across several seeds: the ECMP draws
@@ -87,11 +97,13 @@ void lazy_matches_eager_after_run() {
   for (const std::uint64_t u : uids) {
     const Flow* f = net.flow(u);
     CHECK(f != nullptr);
-    CHECK(!f->path.empty());  // activated => resolved
+    CHECK(f->path_id != TopoGraph::kNoPath);  // activated => resolved
     const std::vector<Hop> eager = topo.route(f->key);
-    CHECK(f->path.size() == eager.size());
-    for (std::size_t i = 0; i < f->path.size(); ++i) {
-      CHECK(f->path[i] == eager[i]);
+    HopVec cached;
+    topo.expand_path(f->key, f->path_id, cached);
+    CHECK(cached.size() == eager.size());
+    for (std::size_t i = 0; i < cached.size(); ++i) {
+      CHECK(cached[i] == eager[i]);
     }
   }
   std::printf("lazy-resolved flow paths match eager resolver (%zu flows)\n",
@@ -151,6 +163,12 @@ void fault_masked_differential(const char* name, const TopoGraph& topo,
             topo.ports(h.node)[static_cast<std::size_t>(h.port)];
         CHECK(plan.link_up(h.node, p.peer, t));
       }
+      // Detours are cached through the same packed-id scheme as clean
+      // routes (check_route compresses whatever the masked resolver
+      // picks), so the round-trip must hold for them too.
+      HopVec expanded;
+      topo.expand_path(key, topo.compress_path(key, masked), expanded);
+      CHECK(expanded == masked);
       if (masked != eager) ++detours;
     }
     masked.clear();

@@ -179,6 +179,65 @@ void check_rejection(const TopoGraph& topo) {
     CHECK(ExperimentRun::restore(topo, other, cp, &err) == nullptr);
     CHECK(err.find("fingerprint") != std::string::npos);
   }
+  // A well-formed *older*-version image (v1: serialized hop vectors, no
+  // setup-space counters) must be refused outright — the v2 reader never
+  // guesses at a v1 flow section. The header is 8 bytes of magic then a
+  // little-endian u32 version, so rewriting that word forges a v1 image.
+  {
+    WarmCheckpoint bad = cp;
+    bad.image[8] = 1;
+    bad.image[9] = 0;
+    bad.image[10] = 0;
+    bad.image[11] = 0;
+    CHECK(Snapshot::saved_time(bad.image) == -1);
+    std::string err;
+    CHECK(ExperimentRun::restore(topo, base_config(2, false, topo), bad,
+                                 &err) == nullptr);
+    CHECK(err.find("version") != std::string::npos);
+  }
+}
+
+// The 4096-host tier under the PR 7 memory diet: a checkpoint taken
+// mid-traffic — flows mid-flight with packed route ids resolved, sender
+// FIFOs threaded through Flow::elig_next, streamed generator replicas
+// mid-window — still round-trips byte-identically across save-side shard
+// counts, and a warm continuation matches its cold twin.
+void check_t3_4096_scale_snapshot() {
+  const TopoGraph topo = TopoGraph::three_tier(ThreeTierConfig::t3_4096());
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kBfc;
+  cfg.traffic.dist = &SizeDist::by_name("google");
+  cfg.traffic.load = 0.3;
+  cfg.traffic.incast_load = 0.02;
+  cfg.traffic.stop = microseconds(25);
+  cfg.traffic.seed = 11;
+  cfg.drain = microseconds(115);
+  const Time pause_at = microseconds(12);
+
+  WarmCheckpoint cps[2];
+  const int counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    cfg.shards = counts[i];
+    ExperimentRun run(topo, cfg);
+    run.run_to(pause_at);
+    cps[i] = run.checkpoint();
+  }
+  CHECK(!cps[0].image.empty());
+  CHECK(cps[0].image == cps[1].image);
+
+  cfg.shards = 2;
+  const ExperimentResult cold = run_experiment(topo, cfg);
+  CHECK(cold.flows_completed > 0);
+  std::string err;
+  std::unique_ptr<ExperimentRun> run =
+      ExperimentRun::restore(topo, cfg, cps[0], &err);
+  if (run == nullptr) {
+    std::fprintf(stderr, "t3_4096 restore failed: %s\n", err.c_str());
+    CHECK(run != nullptr);
+  }
+  const ExperimentResult thawed = run->collect();
+  check_identical(cold, thawed);
+  CHECK(cold.shard_events == thawed.shard_events);
 }
 
 void check_sweep_server(const TopoGraph& topo) {
@@ -221,5 +280,6 @@ int main() {
   check_layout_independence(topo);
   check_rejection(topo);
   check_sweep_server(topo);
+  check_t3_4096_scale_snapshot();
   return 0;
 }

@@ -1,0 +1,133 @@
+// Streaming-vs-materialized trace differential: the lazy per-shard
+// ArrivalStream pullers must reproduce the eager generate_trace schedule
+// exactly — same arrivals in the same order at any window size — and a
+// streamed experiment must report bit-identical end-to-end stats to an
+// eager one at every shard count. This is the oracle that lets streaming
+// be the default: the materialized path survived six PRs of determinism
+// testing, so any divergence is a streaming bug by construction.
+#include <cstdlib>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "workload/traffic_gen.hpp"
+
+#include "test_util.hpp"
+
+using namespace bfc;
+
+namespace {
+
+TrafficConfig traffic(Time stop, std::uint64_t seed) {
+  TrafficConfig t;
+  t.dist = &SizeDist::by_name("google");
+  t.load = 0.5;
+  t.incast_load = 0.05;
+  t.stop = stop;
+  t.seed = seed;
+  return t;
+}
+
+// Arrival-sequence identity: pull the stream window by window (including
+// deliberately awkward window sizes — a prime stride, a window bigger
+// than the whole trace) and compare against the materialized schedule
+// element for element.
+void check_trace_identity(const char* name, const TopoGraph& topo,
+                          const TrafficConfig& cfg, Time window) {
+  const std::vector<FlowArrival> eager = generate_trace(topo, cfg);
+  CHECK(!eager.empty());
+  ArrivalStream stream(topo, cfg);
+  std::vector<FlowArrival> streamed;
+  const auto sink = [&](const FlowArrival& a) { streamed.push_back(a); };
+  for (Time b = 0; b < cfg.stop; b += window) {
+    stream.advance(std::min(b + window, cfg.stop), sink);
+  }
+  CHECK(streamed.size() == eager.size());
+  Time prev = 0;
+  for (std::size_t i = 0; i < eager.size(); ++i) {
+    CHECK(streamed[i].at == eager[i].at);
+    CHECK(streamed[i].key == eager[i].key);
+    CHECK(streamed[i].bytes == eager[i].bytes);
+    CHECK(streamed[i].uid == eager[i].uid);
+    CHECK(streamed[i].incast == eager[i].incast);
+    CHECK(streamed[i].at >= prev);  // start order, like the trace
+    prev = streamed[i].at;
+  }
+  std::printf("trace identity ok: %s (%zu arrivals, window %.1f us)\n", name,
+              eager.size(), to_usec(window));
+}
+
+ExperimentResult run_mode(const TopoGraph& topo, int shards, bool eager) {
+  ExperimentConfig cfg;
+  cfg.scheme = Scheme::kBfc;
+  cfg.traffic = traffic(microseconds(150), 7);
+  cfg.drain = microseconds(450);
+  cfg.shards = shards;
+  cfg.eager_trace = eager;
+  cfg.gen_window = microseconds(20);  // several pump windows per run
+  return run_experiment(topo, cfg);
+}
+
+// Simulation-level stats only: streaming adds its pump closures to the
+// env entity, so engine event *counts* legitimately differ between the
+// modes — what must not differ is anything the simulation computed.
+void check_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  CHECK(a.flows_started == b.flows_started);
+  CHECK(a.flows_completed == b.flows_completed);
+  CHECK(a.drops == b.drops);
+  CHECK(a.bfc.pauses == b.bfc.pauses);
+  CHECK(a.bfc.resumes == b.bfc.resumes);
+  CHECK(a.bfc.overflow_packets == b.bfc.overflow_packets);
+  CHECK(a.collision_frac == b.collision_frac);
+  CHECK(a.buffer_samples_mb == b.buffer_samples_mb);
+  CHECK(a.p99_slowdown == b.p99_slowdown);
+  CHECK(a.bins.size() == b.bins.size());
+  for (std::size_t i = 0; i < a.bins.size(); ++i) {
+    CHECK(a.bins[i].slowdowns == b.bins[i].slowdowns);
+  }
+  CHECK(a.nic_class_transitions == b.nic_class_transitions);
+  CHECK(a.receiver_slots_hw == b.receiver_slots_hw);
+  CHECK(a.table_chunks == b.table_chunks);
+}
+
+void check_experiment_identity(const char* name, const TopoGraph& topo) {
+  const ExperimentResult oracle = run_mode(topo, 1, /*eager=*/true);
+  CHECK(oracle.flows_started > 0);
+  CHECK(oracle.flows_completed > 0);
+  for (const int shards : {1, 2, 4}) {
+    const ExperimentResult streamed = run_mode(topo, shards, /*eager=*/false);
+    CHECK(streamed.shards == shards);
+    check_identical(oracle, streamed);
+  }
+  std::printf("experiment identity ok: %s (%llu flows, shards 1/2/4)\n", name,
+              static_cast<unsigned long long>(oracle.flows_completed));
+}
+
+// The BFC_EAGER_TRACE env override must win over the config field in both
+// directions (it exists for A/B runs without a rebuild).
+void check_env_override(const TopoGraph& topo) {
+  setenv("BFC_EAGER_TRACE", "1", 1);
+  const ExperimentResult forced_eager = run_mode(topo, 2, /*eager=*/false);
+  setenv("BFC_EAGER_TRACE", "0", 1);
+  const ExperimentResult forced_stream = run_mode(topo, 2, /*eager=*/true);
+  unsetenv("BFC_EAGER_TRACE");
+  check_identical(forced_eager, forced_stream);
+  std::printf("BFC_EAGER_TRACE override ok\n");
+}
+
+}  // namespace
+
+int main() {
+  const TopoGraph t1 = TopoGraph::fat_tree(FatTreeConfig::t1());
+  const TopoGraph t3 = TopoGraph::three_tier(ThreeTierConfig::t3_1024());
+  for (const std::uint64_t seed : {1ULL, 7ULL}) {
+    const TrafficConfig cfg = traffic(microseconds(200), seed);
+    check_trace_identity("t1_128", t1, cfg, microseconds(7));
+    check_trace_identity("t1_128", t1, cfg, microseconds(1000));
+    check_trace_identity("t3_1024", t3, cfg, microseconds(7));
+    check_trace_identity("t3_1024", t3, cfg, microseconds(50));
+  }
+  check_experiment_identity("t1_128", t1);
+  check_experiment_identity("t3_1024", t3);
+  check_env_override(t1);
+  return 0;
+}

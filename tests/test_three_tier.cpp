@@ -1,9 +1,9 @@
 // Three-tier fat-tree construction and routing: link symmetry, pod
 // labelling, and valid host-to-host paths at every locality (same edge,
-// same pod, inter-pod) for the small, 1024-, 4096-, and 16384-host
-// presets — plus the lazy-state contract that opens the 16384-host tier:
-// an idle network allocates no per-port queue arrays, no flow-table
-// entries or chunks, and no flow routes.
+// same pod, inter-pod) for the small, 1024-, 4096-, 16384-, and
+// 65536-host presets — plus the lazy-state contract that opens the big
+// tiers: an idle network allocates no per-port queue arrays, no
+// flow-table entries or chunks, no sender-index heap, and no flow routes.
 #include "core/topology.hpp"
 
 #include "core/network.hpp"
@@ -185,14 +185,25 @@ void idle_t3_16384_allocates_nothing() {
   CHECK(in_ports == 0);  // no Bloom filters / PFC accounting either
   CHECK(entries == 0);   // no flow-table entries
   CHECK(chunks == 0);    // ...and no flow-table chunk slabs
-  std::size_t rcv_slots = 0;
-  for (const Nic* nic : net.nics()) rcv_slots += nic->receiver_slots();
+  std::size_t rcv_slots = 0, sender_slabs = 0, fifo_entries = 0;
+  for (const Nic* nic : net.nics()) {
+    rcv_slots += nic->receiver_slots();
+    // Sender side (PR 7): an idle NIC's FlowIndex owns no blocked-list
+    // slab and its intrusive ready-FIFO holds nothing — the index costs
+    // three pointers, not a deque chunk per host.
+    if (nic->flow_index().slab_live()) ++sender_slabs;
+    fifo_entries += nic->flow_index().eligible_size();
+  }
   CHECK(rcv_slots == 0);
+  CHECK(sender_slabs == 0);
+  CHECK(fifo_entries == 0);
   for (std::uint64_t uid = 1; uid <= 64; ++uid) {
     const Flow* f = net.flow(uid);
     if (f == nullptr) continue;  // (src == dst pairs were skipped)
-    CHECK(f->path.empty());      // no route resolved before activation
-    CHECK(f->rpath.empty());
+    // No route resolved before activation: the packed-id cache is still
+    // the unresolved sentinel in both directions.
+    CHECK(f->path_id == TopoGraph::kNoPath);
+    CHECK(f->rpath_id == TopoGraph::kNoPath);
   }
 }
 
@@ -201,8 +212,10 @@ int main() {
   check_topo(ThreeTierConfig::t3_1024());
   check_topo(ThreeTierConfig::t3_4096());
   check_topo(ThreeTierConfig::t3_16384());
+  check_topo(ThreeTierConfig::t3_65536());
   check_partition_balance(ThreeTierConfig::t3_4096());
   check_partition_balance(ThreeTierConfig::t3_16384());
+  check_partition_balance(ThreeTierConfig::t3_65536());
   idle_t3_16384_allocates_nothing();
   return 0;
 }

@@ -44,6 +44,16 @@ Modes:
 
 Always enforced: nonzero throughput and a clean determinism column.
 
+Memory gate: each engine row's peak_rss_kb (VmHWM after the sweep point;
+fig15 rows carry it per (topo, shards)) must stay within --rss-tolerance
+(default 15%) growth of the rolling per-row median, scale-matched the
+same way as throughput. RSS is an absolute measurement — machine-speed
+calibration does not apply — but it IS workload-scale-dependent, so the
+committed full-scale rows only backstop a same-scale run; in CI the gate
+converges from its own cache window within a few pushes. Rows without a
+scale-matched baseline pass as "new". Shrinkage never fails: the whole
+point of the memory diet is the number going down.
+
 A separate mode gates the resident sweep server (BFC_RESIDENT=1):
 
   --compare COLD WARM   warm-start correctness gate. COLD is the bench
@@ -82,6 +92,19 @@ def load_topos(path):
         doc = json.load(f)
     engine = doc.get("engine", {})
     return engine.get("topos", {}), engine.get("scale"), doc.get("baseline", {})
+
+
+def load_rows(path):
+    """The per-(topo, shards) engine rows fig15_scale records (each
+    carries peak_rss_kb = VmHWM sampled after the point). Absent
+    section -> ([], None)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError):
+        return [], None
+    engine = doc.get("engine", {})
+    return engine.get("rows", []), engine.get("scale")
 
 
 def load_fault(path):
@@ -285,6 +308,107 @@ def rolling_baseline(committed, history_dir, limit, cur_scale=None,
         if topo in effective and effective[topo].get(col, 0) > 0:
             effective[topo][col] = median(samples)
     return effective, len(usable)
+
+
+def rss_baseline(committed_rows, committed_scale, history_dir, limit,
+                 cur_scale=None, history_file=None):
+    """Per-(topo, shards) rolling peak-RSS baseline: the median over the
+    last `limit` scale-matched history runs. History-file runs may carry
+    a "rows" list next to "topos" (older entries don't — they simply
+    contribute nothing); cache-dir bench jsons carry engine.rows.
+    Committed rows backstop pairs with no history, but ONLY on a scale
+    match — RSS tracks workload size, so a full-scale committed number
+    says nothing about a 0.05-scale CI run. Returns ({(topo, shards):
+    kb}, n_history_runs_used)."""
+    entries = []  # (rows, scale), oldest first
+    if history_file:
+        try:
+            with open(history_file) as f:
+                doc = json.load(f)
+        except (OSError, ValueError):
+            doc = {}
+        for run in doc.get("runs", []):
+            rows = run.get("rows", [])
+            if rows:
+                entries.append((rows, run.get("scale")))
+    if history_dir:
+        for path in sorted(glob.glob(os.path.join(history_dir, "*.json"))):
+            rows, scale = load_rows(path)
+            if rows:
+                entries.append((rows, scale))
+    usable = [rows for rows, scale in entries
+              if not (cur_scale is not None and scale is not None
+                      and scale != cur_scale)]
+    usable = usable[-limit:]
+    per_row = {}
+    for rows in usable:
+        for r in rows:
+            kb = r.get("peak_rss_kb", 0)
+            if kb > 0:
+                per_row.setdefault((r.get("topo"), r.get("shards")),
+                                   []).append(kb)
+    base = {}
+    if committed_rows and not (cur_scale is not None
+                               and committed_scale is not None
+                               and committed_scale != cur_scale):
+        for r in committed_rows:
+            kb = r.get("peak_rss_kb", 0)
+            if kb > 0:
+                base[(r.get("topo"), r.get("shards"))] = float(kb)
+    for key, samples in per_row.items():
+        base[key] = median(samples)
+    return base, len(usable)
+
+
+def gate_rss(current_rows, baseline, tolerance):
+    """Memory gate: each current (topo, shards) row's peak_rss_kb must
+    stay within `tolerance` growth of its baseline. One-sided by design
+    — shrinkage is the goal, never a failure. Rows reporting 0 (no
+    /proc on this platform) and rows with no baseline pass visibly.
+    Returns (failures, table rows)."""
+    failures = []
+    table = []
+    for r in current_rows:
+        kb = r.get("peak_rss_kb", 0)
+        if kb <= 0:
+            continue
+        key = (r.get("topo"), r.get("shards"))
+        label = f"{key[0]}@{key[1]}sh"
+        base = baseline.get(key)
+        if base is None:
+            table.append((label, 0, kb, None, "new (no baseline)"))
+            continue
+        delta = kb / base - 1.0
+        status = "ok"
+        if kb > base * (1.0 + tolerance):
+            status = "RSS GROWTH"
+            failures.append(
+                f"{label}: peak RSS {kb:,} kB is {delta:+.1%} vs the "
+                f"baseline {base:,.0f} kB (allowed +{tolerance:.0%})")
+        table.append((label, base, kb, delta, status))
+    return failures, table
+
+
+def render_rss(table, tolerance, n_history):
+    if not table:
+        return ""
+    src = (f"rolling median of last {n_history} runs" if n_history
+           else "committed baseline (same scale)")
+    lines = ["## Peak RSS per (topo, shards)", "",
+             f"Gate: fail above +{tolerance:.0%} vs {src}; shrinkage "
+             "never fails; rows without a scale-matched baseline pass "
+             "as new. VmHWM is a process high-water mark, so later "
+             "sweep points inherit earlier ones' peak.", "",
+             "| row | baseline kB | this run kB | delta | status |",
+             "|---|---:|---:|---:|---|"]
+    for label, base, kb, delta, status in table:
+        lines.append("| {} | {} | {} | {} | {} |".format(
+            label,
+            f"{base:,.0f}" if base else "-",
+            f"{kb:,}",
+            f"{delta:+.1%}" if delta is not None else "-",
+            status))
+    return "\n".join(lines) + "\n"
 
 
 SPARK_CHARS = "▁▂▃▄▅▆▇█"
@@ -682,6 +806,67 @@ def self_test():
     assert " 5.00" not in t2 and "12.00" in t2, \
         "trajectory keeps only the window tail"
 
+    # Memory gate, both directions: growth past the band fails, flat /
+    # shrinking RSS passes (shrinkage is the goal — one-sided gate).
+    com_rows = [{"topo": "t3_4096", "shards": 1, "peak_rss_kb": 1_400_000},
+                {"topo": "t3_4096", "shards": 8, "peak_rss_kb": 1_430_000}]
+    base, n = rss_baseline(com_rows, 1.0, None, 3, cur_scale=1.0)
+    assert n == 0 and base[("t3_4096", 1)] == 1_400_000
+    grown = [{"topo": "t3_4096", "shards": 1, "peak_rss_kb": 1_700_000},
+             {"topo": "t3_4096", "shards": 8, "peak_rss_kb": 1_430_000}]
+    ff, tab = gate_rss(grown, base, 0.15)
+    assert any("t3_4096@1sh" in m and "peak RSS" in m for m in ff), \
+        "+21% RSS on one row must fail"
+    assert not any("@8sh" in m for m in ff), \
+        "...without dragging the healthy row along"
+    lean = [{"topo": "t3_4096", "shards": 1, "peak_rss_kb": 900_000},
+            {"topo": "t3_4096", "shards": 8, "peak_rss_kb": 1_500_000}]
+    ff, tab = gate_rss(lean, base, 0.15)
+    assert ff == [], "shrinkage and within-band growth must pass"
+    assert render_rss(tab, 0.15, 0).count("|") > 0 and \
+        "t3_4096@1sh" in render_rss(tab, 0.15, 0), \
+        "RSS rows must render for the job summary"
+    # No baseline (new row, or zero-RSS platform): visible, never fatal.
+    novel = [{"topo": "t3_65536", "shards": 1, "peak_rss_kb": 3_900_000},
+             {"topo": "t1_128", "shards": 1, "peak_rss_kb": 0}]
+    ff, tab = gate_rss(novel, base, 0.15)
+    assert ff == [] and len(tab) == 1 and tab[0][-1] == "new (no baseline)", \
+        "rows without a baseline pass as new; zero-RSS rows drop out"
+    # Committed rows only backstop a same-scale run; the rolling window
+    # (scale-matched) takes over and its median absorbs one outlier.
+    base, n = rss_baseline(com_rows, 1.0, None, 3, cur_scale=0.05)
+    assert n == 0 and base == {}, \
+        "a full-scale committed RSS row must not gate a 0.05-scale run"
+    with tempfile.TemporaryDirectory() as d:
+        def put_rss(name, kb, scale=0.05):
+            doc = {"engine": {"scale": scale, "rows": [
+                {"topo": "t3_4096", "shards": 1, "peak_rss_kb": kb}]}}
+            with open(os.path.join(d, name), "w") as f:
+                json.dump(doc, f)
+        put_rss("run-00000001.json", 90_000)
+        put_rss("run-00000002.json", 100_000)
+        put_rss("run-00000003.json", 400_000, scale=1.0)  # off-scale
+        put_rss("run-00000004.json", 110_000)
+        base, n = rss_baseline(com_rows, 1.0, d, 3, cur_scale=0.05)
+        assert n == 3 and base == {("t3_4096", 1): 100_000}, \
+            "RSS window: scale-matched cache runs only, per-row median"
+        ff, _ = gate_rss([{"topo": "t3_4096", "shards": 1,
+                           "peak_rss_kb": 130_000}], base, 0.15)
+        assert ff, "+30% vs the rolling RSS median must fail"
+        # A history-file run carrying rows seeds the window like the
+        # throughput path; runs without rows contribute nothing.
+        hist = os.path.join(d, "BENCH_history.json")
+        with open(hist, "w") as f:
+            json.dump({"runs": [
+                {"scale": 0.05, "topos": {}},
+                {"scale": 0.05, "rows": [{"topo": "t3_4096", "shards": 1,
+                                          "peak_rss_kb": 104_000}]},
+            ]}, f)
+        base, n = rss_baseline([], None, None, 3, cur_scale=0.05,
+                               history_file=hist)
+        assert n == 1 and base == {("t3_4096", 1): 104_000}, \
+            "history-file rows must seed the RSS window"
+
     # Fault-plane gate: invariants always, recovery latency only on a
     # scale match, and no fault section means no fault gating.
     fault_base = {"scale": 1.0, "headline": {
@@ -785,9 +970,14 @@ def main():
                          "rolling window survives cache eviction")
     ap.add_argument("--history-limit", type=int, default=3,
                     help="rolling window size (default 3)")
-    ap.add_argument("--optional-topos", default="t3_16384",
+    ap.add_argument("--optional-topos", default="t3_16384,t3_65536",
                     help="comma list of opt-in topos: gated when present, "
                          "allowed to be absent from the current run")
+    ap.add_argument("--rss-tolerance", type=float,
+                    default=float(os.environ.get("BFC_RSS_GATE_TOLERANCE",
+                                                 "0.15")),
+                    help="allowed peak-RSS growth per (topo, shards) row "
+                         "vs the rolling baseline (default 0.15)")
     ap.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
                     help="markdown file to append the trajectory diff to")
     ap.add_argument("--compare", nargs=2, metavar=("COLD", "WARM"),
@@ -836,6 +1026,17 @@ def main():
                              current, cur_scale)
     if traj:
         report += "\n" + traj
+    cur_rows, _ = load_rows(args.current)
+    com_rows, com_scale = load_rows(args.baseline)
+    rss_base, n_rss = rss_baseline(com_rows, com_scale, args.history,
+                                   args.history_limit, cur_scale,
+                                   history_file=args.history_file)
+    rss_failures, rss_table = gate_rss(cur_rows, rss_base,
+                                       args.rss_tolerance)
+    failures += rss_failures
+    rss_report = render_rss(rss_table, args.rss_tolerance, n_rss)
+    if rss_report:
+        report += "\n" + rss_report
     fault_failures, fault_report = gate_fault(load_fault(args.current),
                                               load_fault(args.baseline),
                                               args.tolerance)
